@@ -1,0 +1,78 @@
+// Command benchreport regenerates every table and figure of the Instant
+// GridFTP reproduction (experiments E1-E13 plus ablations; see DESIGN.md
+// for the per-experiment index) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	benchreport            # run everything
+//	benchreport -exp e2    # run one experiment (e1..e12, blocksize, cache, autotune, transport)
+//	benchreport -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	byID := experiments.ByID()
+	if *list {
+		ids := make([]string, 0, len(byID))
+		for id := range byID {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println(strings.Join(ids, "\n"))
+		return
+	}
+
+	if *exp != "" {
+		run, ok := byID[strings.ToLower(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := runOne(run); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("Instant GridFTP reproduction — full experiment report")
+	fmt.Println("======================================================")
+	start := time.Now()
+	failed := 0
+	for _, run := range experiments.All() {
+		if err := runOne(run); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			failed++
+		}
+	}
+	fmt.Printf("report complete in %v (%d experiments failed)\n",
+		time.Since(start).Round(time.Second), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func runOne(run func() (*experiments.Table, error)) error {
+	start := time.Now()
+	table, err := run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(table.Format())
+	fmt.Printf("   (generated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command myproxy-logon demonstrates the GCMU client credential flow
+// (§IV.E): it starts a MyProxy Online CA tied to a simulated site identity
+// store, performs the logon with a site username/password, and prints the
+// issued short-lived certificate — showing the username embedded in the
+// DN (no external CA, no gridmap).
+//
+// Usage:
+//
+//	myproxy-logon [-user alice] [-password secret] [-lifetime 12h]
+//	              [-wrong-password]  # demonstrate the failure path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gridftp.dev/instant/internal/ca"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/myproxy"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+func main() {
+	user := flag.String("user", "alice", "site username")
+	password := flag.String("password", "secret", "site password")
+	lifetime := flag.Duration("lifetime", 12*time.Hour, "requested credential lifetime")
+	wrong := flag.Bool("wrong-password", false, "attempt logon with a wrong password")
+	flag.Parse()
+
+	if err := run(*user, *password, *lifetime, *wrong); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(user, password string, lifetime time.Duration, wrong bool) error {
+	nw := netsim.NewNetwork()
+
+	// Site side: online CA over an LDAP-backed PAM stack.
+	signing, err := gsi.NewCA("/O=GCMU/OU=siteA/CN=siteA MyProxy CA", 10*365*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	dir := pam.NewLDAPDirectory("dc=siteA")
+	dir.AddEntry(user, password)
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: user})
+	stack := pam.NewStack("myproxy", accounts,
+		pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}})
+	online := ca.New(signing, stack, "/O=GCMU/OU=siteA")
+	hostCred, err := signing.Issue(gsi.IssueOptions{
+		Subject: "/O=GCMU/OU=siteA/CN=host myproxy.siteA", Lifetime: 365 * 24 * time.Hour, Host: true,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &myproxy.Server{OnlineCA: online, HostCred: hostCred}
+	addr, err := srv.ListenAndServe(nw.Host("siteA"), myproxy.DefaultPort)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Printf("myproxy server: %s (CA: %s)\n\n", addr, signing.DN())
+
+	attempt := password
+	if wrong {
+		attempt = password + "-oops"
+	}
+	fmt.Printf("$ myproxy-logon -b -T -s %s -l %s\n", addr, user)
+	fmt.Printf("Enter MyProxy pass phrase: %s\n", maskPassword(attempt))
+	cred, err := myproxy.Logon(nw.Host("laptop"), addr.String(), user,
+		pam.PasswordConv(attempt), myproxy.LogonOptions{Lifetime: lifetime})
+	if err != nil {
+		return fmt.Errorf("logon failed (as expected with -wrong-password): %w", err)
+	}
+
+	fmt.Printf("\nA credential was issued:\n")
+	fmt.Printf("  subject:   %s\n", cred.DN())
+	fmt.Printf("  username:  %s (embedded as the final CN, §IV.A)\n", cred.DN().LastCN())
+	fmt.Printf("  issuer:    %s\n", gsi.IssuerDN(cred.Cert))
+	fmt.Printf("  not after: %s (short-lived)\n", cred.Cert.NotAfter.Format(time.RFC3339))
+	fmt.Printf("  key:       generated locally, never left this host\n\n")
+
+	pemData, err := cred.EncodePEM()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("credential bundle (%d bytes PEM):\n", len(pemData))
+	preview := pemData
+	if len(preview) > 300 {
+		preview = preview[:300]
+	}
+	fmt.Printf("%s...\n", preview)
+	return nil
+}
+
+func maskPassword(p string) string {
+	out := make([]byte, len(p))
+	for i := range out {
+		out[i] = '*'
+	}
+	return string(out)
+}

@@ -1,0 +1,85 @@
+// Quickstart: the "instant GridFTP" experience end to end.
+//
+// This example performs the paper's §IV workflow with the library's public
+// API: install a GCMU endpoint (GridFTP server + MyProxy Online CA + AUTHZ
+// callout) with one call, obtain a short-lived credential with a site
+// username/password, and move files — no external certificate authority,
+// no gridmap file, no security configuration.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/gcmu"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+func main() {
+	// The simulated network: one site host and the user's laptop.
+	nw := netsim.NewNetwork()
+
+	// The site's existing identity infrastructure: an LDAP directory and
+	// a local account, wired into a PAM stack. GCMU attaches to whatever
+	// the site already has (LDAP, NIS, RADIUS, OTP).
+	directory := pam.NewLDAPDirectory("dc=example,dc=org")
+	directory.AddEntry("alice", "correct-horse")
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: "alice"})
+	auth := pam.NewStack("myproxy", accounts,
+		pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: directory}})
+
+	// "sudo ./install" — the whole server side in one call (§IV.D).
+	endpoint, err := gcmu.Install(gcmu.Options{
+		Name:     "example",
+		Host:     nw.Host("example.org"),
+		Auth:     auth,
+		Accounts: accounts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer endpoint.Close()
+	fmt.Printf("endpoint up: gridftp=%s myproxy=%s\n", endpoint.GridFTPAddr, endpoint.MyProxyAddr)
+	fmt.Printf("site CA:     %s (created at install; no external CA)\n\n", endpoint.SigningCA.DN())
+
+	// Client side (§IV.E): myproxy-logon with the site password, then an
+	// authenticated GridFTP session with delegation.
+	client, err := endpoint.Connect(nw.Host("laptop"), "alice", pam.PasswordConv("correct-horse"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Upload, list, download.
+	payload := bytes.Repeat([]byte("instant gridftp! "), 4096)
+	start := time.Now()
+	stats, err := client.Put("/dataset.bin", dsi.NewBufferFile(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("put  /dataset.bin: %d bytes in %v\n", stats.Bytes, time.Since(start).Round(time.Millisecond))
+
+	entries, err := client.List("/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("list %s\n", e)
+	}
+
+	dst := dsi.NewBufferFile(nil)
+	if _, err := client.Get("/dataset.bin", dst); err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		log.Fatal("round-trip content mismatch")
+	}
+	fmt.Printf("get  /dataset.bin: %d bytes, content verified\n", len(dst.Bytes()))
+}

@@ -1,0 +1,3 @@
+module gridftp.dev/instant
+
+go 1.22

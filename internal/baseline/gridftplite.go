@@ -1,0 +1,136 @@
+package baseline
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// GridFTP-Lite (§III.B of the paper): "GridFTP-Lite uses SSH for user
+// authentication. Specifically, it uses SSH to dynamically start a GridFTP
+// server on a target machine and then uses that SSH session to tunnel the
+// GridFTP control channel." The SSH transport is modelled with TLS
+// (equivalent cryptography) plus PAM password authentication, exactly as
+// the SCP baseline does; after authentication the connection is handed to
+// a GridFTP session running in lite mode, which enforces the §III.B
+// limitations (no data channel security, no delegation, no striping).
+
+// LitePort is the SSH port the lite launcher listens on.
+const LitePort = 22
+
+// LiteServer is the sshd-side launcher.
+type LiteServer struct {
+	HostCred *gsi.Credential
+	Auth     *pam.Stack
+	// GridFTP is the server whose storage/config lite sessions use.
+	GridFTP *gridftp.Server
+
+	listener net.Listener
+}
+
+// ListenAndServe starts the launcher.
+func (s *LiteServer) ListenAndServe(host *netsim.Host, port int) (net.Addr, error) {
+	if s.HostCred == nil || s.Auth == nil || s.GridFTP == nil {
+		return nil, errors.New("baseline: lite server needs host cred, auth, and a gridftp server")
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the launcher.
+func (s *LiteServer) Close() error {
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *LiteServer) serve(raw net.Conn) {
+	tc := tls.Server(raw, gsi.ServerTLSConfigNoClientAuth(s.HostCred))
+	raw.SetDeadline(time.Now().Add(time.Minute))
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	br := bufio.NewReader(tc)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		tc.Close()
+		return
+	}
+	fields := strings.SplitN(strings.TrimRight(line, "\n"), " ", 3)
+	if len(fields) != 3 || fields[0] != "AUTH" {
+		fmt.Fprintf(tc, "ERR expected AUTH\n")
+		tc.Close()
+		return
+	}
+	acct, err := s.Auth.Authenticate(fields[1], pam.PasswordConv(fields[2]))
+	if err != nil {
+		fmt.Fprintf(tc, "ERR permission denied\n")
+		tc.Close()
+		return
+	}
+	fmt.Fprintf(tc, "OK\n")
+	// "ssh ... gridftp-server -i": the tunneled connection becomes the
+	// control channel of a per-session lite server.
+	s.GridFTP.ServeLite(&bufferedConn{Conn: tc, r: br}, acct.Name)
+}
+
+// bufferedConn keeps any bytes the auth exchange buffered ahead of the
+// GridFTP session.
+type bufferedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (b *bufferedConn) Read(p []byte) (int, error) { return b.r.Read(p) }
+
+// LiteDial opens a GridFTP-Lite session: an SSH-style password logon whose
+// tunnel then carries the GridFTP control channel. The returned client has
+// no credential — data channels run without security.
+func LiteDial(host *netsim.Host, addr, user, password string) (*gridftp.Client, error) {
+	raw, err := host.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	tc := tls.Client(raw, &tls.Config{InsecureSkipVerify: true, MinVersion: tls.VersionTLS12})
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	fmt.Fprintf(tc, "AUTH %s %s\n", user, password)
+	br := bufio.NewReader(tc)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		tc.Close()
+		return nil, err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		tc.Close()
+		return nil, fmt.Errorf("baseline: lite logon: %s", strings.TrimSpace(line))
+	}
+	return gridftp.DialLite(host, &bufferedConn{Conn: tc, r: br})
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/authz"
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/ftp"
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// liteEnv builds a GridFTP-Lite deployment: sshd-style launcher in front
+// of a GridFTP server.
+func liteEnv(t *testing.T) (*netsim.Network, string, *dsi.MemStorage) {
+	t.Helper()
+	nw := netsim.NewNetwork()
+	ca, err := gsi.NewCA("/O=x/CN=CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostCred, err := ca.Issue(gsi.IssueOptions{Subject: "/O=x/CN=host", Lifetime: time.Hour, Host: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, _ := func() (*pam.Stack, *pam.AccountDB) {
+		dir := pam.NewLDAPDirectory("dc=x")
+		dir.AddEntry("alice", "pw")
+		accounts := pam.NewAccountDB()
+		accounts.Add(pam.Account{Name: "alice"})
+		return pam.NewStack("sshd", accounts,
+			pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}}), accounts
+	}()
+	storage := dsi.NewMemStorage()
+	storage.AddUser("alice")
+	trust := gsi.NewTrustStore()
+	trust.AddCA(ca.Certificate())
+	gfs, err := gridftp.NewServer(nw.Host("server"), gridftp.ServerConfig{
+		HostCred: hostCred, Trust: trust, Authz: authz.NewGridmap(), Storage: storage,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite := &LiteServer{HostCred: hostCred, Auth: stack, GridFTP: gfs}
+	addr, err := lite.ListenAndServe(nw.Host("server"), LitePort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lite.Close() })
+	return nw, addr.String(), storage
+}
+
+func TestLiteTransferWorks(t *testing.T) {
+	nw, addr, storage := liteEnv(t)
+	c, err := LiteDial(nw.Host("laptop"), addr, "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	payload := bytes.Repeat([]byte("lite"), 50000)
+	if _, err := c.Put("/l.bin", dsi.NewBufferFile(payload)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage.Open("alice", "/l.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dsi.ReadAll(f)
+	f.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("content mismatch")
+	}
+	dst := dsi.NewBufferFile(nil)
+	if _, err := c.Get("/l.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		t.Fatal("download mismatch")
+	}
+	// Parallelism still works (it is orthogonal to security).
+	if err := c.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("/l.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiteWrongPassword(t *testing.T) {
+	nw, addr, _ := liteEnv(t)
+	if _, err := LiteDial(nw.Host("laptop"), addr, "alice", "bad"); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+}
+
+func TestLiteLimitationNoDelegation(t *testing.T) {
+	// §III.B limitation 2: "since SSH does not support delegation, users
+	// cannot hand off SSH-based GridFTP transfers to transfer agents such
+	// as Globus Online."
+	nw, addr, _ := liteEnv(t)
+	c, err := LiteDial(nw.Host("laptop"), addr, "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Delegate(time.Hour); !errors.Is(err, gridftp.ErrLiteNoDelegation) {
+		t.Fatalf("want ErrLiteNoDelegation, got %v", err)
+	}
+}
+
+func TestLiteLimitationNoDataSecurity(t *testing.T) {
+	// §III.B limitation 1: "the data channel has no security."
+	nw, addr, _ := liteEnv(t)
+	c, err := LiteDial(nw.Host("laptop"), addr, "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.SetProt(gridftp.ProtPrivate)
+	var re *ftp.ReplyError
+	if !errors.As(err, &re) || re.Reply.Code != ftp.CodeNotImplemented {
+		t.Fatalf("PROT P on lite session: want 502, got %v", err)
+	}
+	if err := c.SetDCAU(gridftp.DCAUSelf); err == nil {
+		t.Fatal("DCAU A accepted on a lite session")
+	}
+}
+
+func TestLiteLimitationNoStriping(t *testing.T) {
+	// §III.B limitation 3: no security between control node and data
+	// movers — lite mode refuses striping outright.
+	nw, addr, _ := liteEnv(t)
+	c, err := LiteDial(nw.Host("laptop"), addr, "alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Passive(true) // SPAS
+	if err == nil || !strings.Contains(err.Error(), "striping") {
+		t.Fatalf("SPAS on lite session: %v", err)
+	}
+}

@@ -1,0 +1,277 @@
+// Package baseline implements the comparison tools the paper positions
+// GridFTP against (§I, §VII): an SCP-like secure copy — password
+// authentication, one encrypted TCP stream, no restart, and third-party
+// copies routed through the client — plus a legacy stream-mode FTP profile
+// (provided by running the GridFTP client in MODE S with one stream).
+package baseline
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// SCPPort is the SSH port the SCP-like server listens on.
+const SCPPort = 22
+
+// SCPServer is a minimal sshd/scp analog: TLS stands in for the SSH
+// transport (equivalent cryptography), PAM passwords for SSH auth.
+type SCPServer struct {
+	HostCred *gsi.Credential
+	Auth     *pam.Stack
+	Storage  dsi.Storage
+
+	listener net.Listener
+}
+
+// ListenAndServe starts the server.
+func (s *SCPServer) ListenAndServe(host *netsim.Host, port int) (net.Addr, error) {
+	if s.HostCred == nil || s.Auth == nil || s.Storage == nil {
+		return nil, errors.New("baseline: scp server needs host cred, auth, storage")
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the server.
+func (s *SCPServer) Close() error {
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *SCPServer) serve(raw net.Conn) {
+	defer raw.Close()
+	tc := tls.Server(raw, gsi.ServerTLSConfigNoClientAuth(s.HostCred))
+	raw.SetDeadline(time.Now().Add(time.Minute))
+	if err := tc.Handshake(); err != nil {
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	br := bufio.NewReader(tc)
+
+	// AUTH <user> <password>
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.SplitN(strings.TrimRight(line, "\n"), " ", 3)
+	if len(fields) != 3 || fields[0] != "AUTH" {
+		fmt.Fprintf(tc, "ERR expected AUTH\n")
+		return
+	}
+	acct, err := s.Auth.Authenticate(fields[1], pam.PasswordConv(fields[2]))
+	if err != nil {
+		fmt.Fprintf(tc, "ERR permission denied\n")
+		return
+	}
+	fmt.Fprintf(tc, "OK\n")
+
+	// One command per session, like scp spawning a remote process.
+	line, err = br.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields = strings.SplitN(strings.TrimRight(line, "\n"), " ", 3)
+	switch {
+	case len(fields) == 2 && fields[0] == "READ":
+		f, err := s.Storage.Open(acct.Name, fields[1])
+		if err != nil {
+			fmt.Fprintf(tc, "ERR %s\n", err)
+			return
+		}
+		defer f.Close()
+		size, err := f.Size()
+		if err != nil {
+			fmt.Fprintf(tc, "ERR %s\n", err)
+			return
+		}
+		fmt.Fprintf(tc, "OK %d\n", size)
+		buf := make([]byte, 128*1024)
+		for off := int64(0); off < size; {
+			n := int64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+				return
+			}
+			if _, err := tc.Write(buf[:n]); err != nil {
+				return
+			}
+			off += n
+		}
+	case len(fields) == 3 && fields[0] == "WRITE":
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || size < 0 {
+			fmt.Fprintf(tc, "ERR bad size\n")
+			return
+		}
+		f, err := s.Storage.Create(acct.Name, fields[1])
+		if err != nil {
+			fmt.Fprintf(tc, "ERR %s\n", err)
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(tc, "OK\n")
+		buf := make([]byte, 128*1024)
+		for off := int64(0); off < size; {
+			n := int64(len(buf))
+			if off+n > size {
+				n = size - off
+			}
+			if _, err := io.ReadFull(br, buf[:n]); err != nil {
+				return
+			}
+			if _, err := f.WriteAt(buf[:n], off); err != nil {
+				return
+			}
+			off += n
+		}
+		fmt.Fprintf(tc, "DONE\n")
+	default:
+		fmt.Fprintf(tc, "ERR unknown command\n")
+	}
+}
+
+// scpSession opens an authenticated session.
+func scpSession(host *netsim.Host, addr, user, password string) (*tls.Conn, *bufio.Reader, error) {
+	raw, err := host.Dial(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	tc := tls.Client(raw, &tls.Config{InsecureSkipVerify: true, MinVersion: tls.VersionTLS12})
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReader(tc)
+	fmt.Fprintf(tc, "AUTH %s %s\n", user, password)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		tc.Close()
+		return nil, nil, err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		tc.Close()
+		return nil, nil, fmt.Errorf("baseline: %s", strings.TrimSpace(line))
+	}
+	return tc, br, nil
+}
+
+// SCPGet downloads a file over a single encrypted stream.
+func SCPGet(host *netsim.Host, addr, user, password, path string, dst dsi.File) (int64, error) {
+	tc, br, err := scpSession(host, addr, user, password)
+	if err != nil {
+		return 0, err
+	}
+	defer tc.Close()
+	fmt.Fprintf(tc, "READ %s\n", path)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(line, "OK ") {
+		return 0, fmt.Errorf("baseline: %s", strings.TrimSpace(line))
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 128*1024)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := io.ReadFull(br, buf[:n]); err != nil {
+			return off, err
+		}
+		if _, err := dst.WriteAt(buf[:n], off); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	return size, nil
+}
+
+// SCPPut uploads a file over a single encrypted stream.
+func SCPPut(host *netsim.Host, addr, user, password, path string, src dsi.File) (int64, error) {
+	size, err := src.Size()
+	if err != nil {
+		return 0, err
+	}
+	tc, br, err := scpSession(host, addr, user, password)
+	if err != nil {
+		return 0, err
+	}
+	defer tc.Close()
+	fmt.Fprintf(tc, "WRITE %s %d\n", path, size)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return 0, fmt.Errorf("baseline: %s", strings.TrimSpace(line))
+	}
+	buf := make([]byte, 128*1024)
+	for off := int64(0); off < size; {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := src.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return off, err
+		}
+		if _, err := tc.Write(buf[:n]); err != nil {
+			return off, err
+		}
+		off += n
+	}
+	if _, err := br.ReadString('\n'); err != nil {
+		return size, err
+	}
+	return size, nil
+}
+
+// SCPRelay copies src@srcAddr:srcPath to dst@dstAddr:dstPath *through the
+// client host* — SCP "routes data through the client for transfers between
+// two remote hosts" (§VII), even when the two servers share a fast link
+// and the client sits behind a slow one.
+func SCPRelay(client *netsim.Host, srcAddr, srcUser, srcPassword, srcPath,
+	dstAddr, dstUser, dstPassword, dstPath string) (int64, error) {
+	buf := dsi.NewBufferFile(nil)
+	n, err := SCPGet(client, srcAddr, srcUser, srcPassword, srcPath, buf)
+	if err != nil {
+		return n, fmt.Errorf("baseline: relay read: %w", err)
+	}
+	if _, err := SCPPut(client, dstAddr, dstUser, dstPassword, dstPath, buf); err != nil {
+		return n, fmt.Errorf("baseline: relay write: %w", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+func scpServer(t *testing.T, nw *netsim.Network, hostName string) (*SCPServer, string, *dsi.MemStorage) {
+	t.Helper()
+	ca, err := gsi.NewCA("/O=x/CN=CA", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostCred, err := ca.Issue(gsi.IssueOptions{Subject: gsi.DN("/O=x/CN=" + hostName), Lifetime: time.Hour, Host: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := pam.NewLDAPDirectory("dc=x")
+	dir.AddEntry("alice", "pw")
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: "alice"})
+	stack := pam.NewStack("sshd", accounts, pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}})
+	storage := dsi.NewMemStorage()
+	storage.AddUser("alice")
+	srv := &SCPServer{HostCred: hostCred, Auth: stack, Storage: storage}
+	addr, err := srv.ListenAndServe(nw.Host(hostName), SCPPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String(), storage
+}
+
+func TestSCPPutGet(t *testing.T) {
+	nw := netsim.NewNetwork()
+	_, addr, storage := scpServer(t, nw, "server")
+	payload := bytes.Repeat([]byte("scp"), 50000)
+	n, err := SCPPut(nw.Host("laptop"), addr, "alice", "pw", "/f.bin", dsi.NewBufferFile(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(payload)) {
+		t.Fatalf("put %d bytes", n)
+	}
+	f, err := storage.Open("alice", "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dsi.ReadAll(f)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("server content mismatch")
+	}
+	dst := dsi.NewBufferFile(nil)
+	if _, err := SCPGet(nw.Host("laptop"), addr, "alice", "pw", "/f.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		t.Fatal("download mismatch")
+	}
+}
+
+func TestSCPWrongPassword(t *testing.T) {
+	nw := netsim.NewNetwork()
+	_, addr, _ := scpServer(t, nw, "server")
+	if _, err := SCPGet(nw.Host("laptop"), addr, "alice", "bad", "/f", dsi.NewBufferFile(nil)); err == nil {
+		t.Fatal("wrong password accepted")
+	}
+}
+
+func TestSCPMissingFile(t *testing.T) {
+	nw := netsim.NewNetwork()
+	_, addr, _ := scpServer(t, nw, "server")
+	if _, err := SCPGet(nw.Host("laptop"), addr, "alice", "pw", "/ghost", dsi.NewBufferFile(nil)); err == nil {
+		t.Fatal("missing file read succeeded")
+	}
+}
+
+func TestSCPRelayRoutesThroughClient(t *testing.T) {
+	// Two servers on a fast mutual link; the client hangs off a slow
+	// link. SCP relay must pay the slow path twice.
+	nw := netsim.NewNetwork()
+	fast := netsim.LinkParams{Bandwidth: 100e6, RTT: time.Millisecond, StreamWindow: 1 << 22}
+	slow := netsim.LinkParams{Bandwidth: 2e6, RTT: 20 * time.Millisecond, StreamWindow: 1 << 22}
+	nw.SetLink("srcsrv", "dstsrv", fast)
+	nw.SetLink("laptop", "srcsrv", slow)
+	nw.SetLink("laptop", "dstsrv", slow)
+
+	_, srcAddr, srcStorage := scpServer(t, nw, "srcsrv")
+	_, dstAddr, dstStorage := scpServer(t, nw, "dstsrv")
+
+	payload := bytes.Repeat([]byte("x"), 400*1024)
+	f, _ := srcStorage.Create("alice", "/src.bin")
+	dsi.WriteAll(f, payload)
+	f.Close()
+
+	start := time.Now()
+	n, err := SCPRelay(nw.Host("laptop"), srcAddr, "alice", "pw", "/src.bin",
+		dstAddr, "alice", "pw", "/dst.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if n != int64(len(payload)) {
+		t.Fatalf("relayed %d bytes", n)
+	}
+	g, _ := dstStorage.Open("alice", "/dst.bin")
+	got, _ := dsi.ReadAll(g)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("relay content mismatch")
+	}
+	// 400 KiB over a 2 MB/s slow link, twice (down then up) >= ~400 ms.
+	if elapsed < 300*time.Millisecond {
+		t.Fatalf("relay finished in %v; should be bottlenecked by the client uplink", elapsed)
+	}
+}

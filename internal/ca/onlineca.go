@@ -1,0 +1,107 @@
+// Package ca implements the MyProxy Online Certificate Authority at the
+// heart of GCMU (§IV.A of the paper): a CA tied to the site's local
+// identity domain through PAM that issues short-lived X.509 user
+// certificates with the local username embedded in the distinguished
+// name. Because the username is in the DN, the GridFTP AUTHZ callout can
+// map certificate to account with no gridmap file (§IV.C).
+package ca
+
+import (
+	"crypto"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// DefaultLifetime is the default short-lived certificate lifetime; Globus
+// Connect issues credentials on this order so compromise windows stay
+// small and revocation is unnecessary.
+const DefaultLifetime = 12 * time.Hour
+
+// OnlineCA couples a signing CA with a PAM stack.
+type OnlineCA struct {
+	// CA is the signing authority (typically created at GCMU install).
+	CA *gsi.CA
+	// Auth is the PAM stack users authenticate against (LDAP/NIS/RADIUS/
+	// OTP — Fig 3 step 2).
+	Auth *pam.Stack
+	// SubjectPrefix is prepended to issued DNs; the final CN is the local
+	// username. E.g. "/O=Grid/OU=siteA" + alice -> "/O=Grid/OU=siteA/CN=alice".
+	SubjectPrefix gsi.DN
+	// Lifetime of issued certificates (DefaultLifetime if zero).
+	Lifetime time.Duration
+	// MaxLifetime caps client-requested lifetimes.
+	MaxLifetime time.Duration
+
+	mu     sync.Mutex
+	issued int64
+}
+
+// ErrBadLifetime is returned for non-positive or excessive lifetimes.
+var ErrBadLifetime = errors.New("ca: requested lifetime not permitted")
+
+// New creates an online CA.
+func New(signing *gsi.CA, auth *pam.Stack, subjectPrefix gsi.DN) *OnlineCA {
+	return &OnlineCA{CA: signing, Auth: auth, SubjectPrefix: subjectPrefix}
+}
+
+// SubjectFor returns the DN the CA would issue for a username.
+func (o *OnlineCA) SubjectFor(username string) gsi.DN {
+	return o.SubjectPrefix.AppendCN(username)
+}
+
+// Issued returns how many certificates have been issued.
+func (o *OnlineCA) Issued() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.issued
+}
+
+// Logon authenticates the user through PAM and, on success, signs a
+// short-lived certificate over the caller-supplied public key. The private
+// key never reaches the CA — the subscriber generates it locally (§IV.A).
+func (o *OnlineCA) Logon(username string, conv pam.Conversation, pub crypto.PublicKey, lifetime time.Duration) (*gsi.Credential, error) {
+	if o.Auth == nil {
+		return nil, errors.New("ca: no authentication stack configured")
+	}
+	acct, err := o.Auth.Authenticate(username, conv)
+	if err != nil {
+		return nil, fmt.Errorf("ca: authentication failed for %q: %w", username, err)
+	}
+	return o.IssuePreauthed(acct.Name, pub, lifetime)
+}
+
+// IssuePreauthed signs a certificate for an account that has already been
+// authenticated by the caller (the MyProxy server authenticates early in
+// its protocol, before the client transmits its public key).
+func (o *OnlineCA) IssuePreauthed(username string, pub crypto.PublicKey, lifetime time.Duration) (*gsi.Credential, error) {
+	if lifetime == 0 {
+		lifetime = o.Lifetime
+	}
+	if lifetime == 0 {
+		lifetime = DefaultLifetime
+	}
+	max := o.MaxLifetime
+	if max == 0 {
+		max = 7 * 24 * time.Hour
+	}
+	if lifetime < 0 || lifetime > max {
+		return nil, fmt.Errorf("%w: %v", ErrBadLifetime, lifetime)
+	}
+	cert, err := o.CA.IssueForKey(pub, gsi.IssueOptions{
+		Subject:  o.SubjectFor(username),
+		Lifetime: lifetime,
+	})
+	if err != nil {
+		return nil, err
+	}
+	o.mu.Lock()
+	o.issued++
+	o.mu.Unlock()
+	return &gsi.Credential{Cert: cert, Chain: []*x509.Certificate{o.CA.Certificate()}}, nil
+}

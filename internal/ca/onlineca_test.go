@@ -1,0 +1,121 @@
+package ca
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/pam"
+)
+
+func onlineCA(t *testing.T) (*OnlineCA, *gsi.TrustStore) {
+	t.Helper()
+	signing, err := gsi.NewCA("/O=GCMU/OU=siteA/CN=CA", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := pam.NewLDAPDirectory("dc=siteA")
+	dir.AddEntry("alice", "pw")
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: "alice"})
+	stack := pam.NewStack("myproxy", accounts,
+		pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}})
+	trust := gsi.NewTrustStore()
+	trust.AddCA(signing.Certificate())
+	return New(signing, stack, "/O=GCMU/OU=siteA"), trust
+}
+
+func freshKey(t *testing.T) *ecdsa.PublicKey {
+	t.Helper()
+	k, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &k.PublicKey
+}
+
+func TestLogonIssuesAndCounts(t *testing.T) {
+	o, trust := onlineCA(t)
+	cred, err := o.Logon("alice", pam.PasswordConv("pw"), freshKey(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.DN() != "/O=GCMU/OU=siteA/CN=alice" {
+		t.Fatalf("DN %q", cred.DN())
+	}
+	if _, err := trust.Verify(cred.FullChain(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	// Default lifetime applies when zero is requested.
+	if lifetime := time.Until(cred.Cert.NotAfter); lifetime > DefaultLifetime+time.Hour {
+		t.Fatalf("lifetime %v exceeds default", lifetime)
+	}
+	if o.Issued() != 1 {
+		t.Fatalf("issued %d", o.Issued())
+	}
+}
+
+func TestLogonAuthFailures(t *testing.T) {
+	o, _ := onlineCA(t)
+	if _, err := o.Logon("alice", pam.PasswordConv("bad"), freshKey(t), 0); err == nil {
+		t.Fatal("bad password issued")
+	}
+	if _, err := o.Logon("ghost", pam.PasswordConv("pw"), freshKey(t), 0); err == nil {
+		t.Fatal("unknown user issued")
+	}
+	if o.Issued() != 0 {
+		t.Fatalf("issued %d after failures", o.Issued())
+	}
+	// No stack configured fails closed.
+	bare := &OnlineCA{CA: o.CA}
+	if _, err := bare.Logon("alice", pam.PasswordConv("pw"), freshKey(t), 0); err == nil {
+		t.Fatal("stackless CA issued")
+	}
+}
+
+func TestLifetimePolicy(t *testing.T) {
+	o, _ := onlineCA(t)
+	if _, err := o.Logon("alice", pam.PasswordConv("pw"), freshKey(t), 30*24*time.Hour); !errors.Is(err, ErrBadLifetime) {
+		t.Fatalf("excessive lifetime: %v", err)
+	}
+	if _, err := o.Logon("alice", pam.PasswordConv("pw"), freshKey(t), -time.Hour); !errors.Is(err, ErrBadLifetime) {
+		t.Fatalf("negative lifetime: %v", err)
+	}
+	o.MaxLifetime = time.Hour
+	if _, err := o.Logon("alice", pam.PasswordConv("pw"), freshKey(t), 2*time.Hour); !errors.Is(err, ErrBadLifetime) {
+		t.Fatalf("above MaxLifetime: %v", err)
+	}
+	cred, err := o.Logon("alice", pam.PasswordConv("pw"), freshKey(t), 30*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Until(cred.Cert.NotAfter) > time.Hour {
+		t.Fatal("requested lifetime not honored")
+	}
+}
+
+func TestSubjectFor(t *testing.T) {
+	o, _ := onlineCA(t)
+	if got := o.SubjectFor("bob"); got != "/O=GCMU/OU=siteA/CN=bob" {
+		t.Fatalf("SubjectFor %q", got)
+	}
+}
+
+func TestIssuePreauthedSkipsPAM(t *testing.T) {
+	o, trust := onlineCA(t)
+	// No password needed: the caller vouches for the authentication.
+	cred, err := o.IssuePreauthed("alice", freshKey(t), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.DN().LastCN() != "alice" {
+		t.Fatalf("DN %q", cred.DN())
+	}
+	if _, err := trust.Verify(cred.FullChain(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}

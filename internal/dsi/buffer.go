@@ -1,0 +1,76 @@
+package dsi
+
+import (
+	"io"
+	"sync"
+)
+
+// BufferFile is a standalone in-memory File, used by clients as a local
+// source/sink for transfers without a full Storage behind it.
+type BufferFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewBufferFile wraps data (which is copied) in a File.
+func NewBufferFile(data []byte) *BufferFile {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return &BufferFile{data: cp}
+}
+
+// ReadAt implements io.ReaderAt.
+func (b *BufferFile) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if off >= int64(len(b.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt, growing the buffer as needed. Growth is
+// geometric so sequential extension by fixed-size blocks stays linear.
+func (b *BufferFile) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(b.data)) {
+		if end > int64(cap(b.data)) {
+			newCap := 2 * int64(cap(b.data))
+			if newCap < end {
+				newCap = end
+			}
+			grown := make([]byte, end, newCap)
+			copy(grown, b.data)
+			b.data = grown
+		} else {
+			b.data = b.data[:end]
+		}
+	}
+	copy(b.data[off:end], p)
+	return len(p), nil
+}
+
+// Size implements File.
+func (b *BufferFile) Size() (int64, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return int64(len(b.data)), nil
+}
+
+// Close implements io.Closer.
+func (b *BufferFile) Close() error { return nil }
+
+// Bytes returns a copy of the current contents.
+func (b *BufferFile) Bytes() []byte {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	cp := make([]byte, len(b.data))
+	copy(cp, b.data)
+	return cp
+}

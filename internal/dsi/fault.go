@@ -1,0 +1,101 @@
+package dsi
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedFault is returned by FaultStorage when an armed fault trips.
+var ErrInjectedFault = errors.New("dsi: injected storage fault")
+
+// FaultStorage wraps a Storage with one-shot write-fault injection: after
+// Arm(threshold), the next file opened or created fails its writes once
+// more than threshold bytes have been written through it. It simulates
+// receive-side failures (disk errors, node crashes) for the checkpoint-
+// restart experiments without touching the network layer.
+type FaultStorage struct {
+	Storage
+	mu        sync.Mutex
+	armed     bool
+	threshold int64
+	trips     int
+}
+
+// NewFaultStorage wraps backend.
+func NewFaultStorage(backend Storage) *FaultStorage {
+	return &FaultStorage{Storage: backend}
+}
+
+// Arm schedules a fault on the next opened/created file after threshold
+// written bytes.
+func (f *FaultStorage) Arm(threshold int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = true
+	f.threshold = threshold
+}
+
+// Trips reports how many times an injected fault has fired.
+func (f *FaultStorage) Trips() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.trips
+}
+
+// Create implements Storage.
+func (f *FaultStorage) Create(user, p string) (File, error) {
+	file, err := f.Storage.Create(user, p)
+	if err != nil {
+		return nil, err
+	}
+	return f.maybeWrap(file), nil
+}
+
+// Open implements Storage.
+func (f *FaultStorage) Open(user, p string) (File, error) {
+	file, err := f.Storage.Open(user, p)
+	if err != nil {
+		return nil, err
+	}
+	return f.maybeWrap(file), nil
+}
+
+func (f *FaultStorage) maybeWrap(file File) File {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.armed {
+		return file
+	}
+	f.armed = false
+	return &faultFile{File: file, threshold: f.threshold, owner: f}
+}
+
+type faultFile struct {
+	File
+	mu        sync.Mutex
+	written   int64
+	threshold int64
+	tripped   bool
+	owner     *FaultStorage
+}
+
+// WriteAt implements io.WriterAt, failing once the threshold is crossed.
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.written += int64(len(p))
+	trip := f.written > f.threshold
+	first := trip && !f.tripped
+	if trip {
+		f.tripped = true
+	}
+	f.mu.Unlock()
+	if trip {
+		if first {
+			f.owner.mu.Lock()
+			f.owner.trips++
+			f.owner.mu.Unlock()
+		}
+		return 0, ErrInjectedFault
+	}
+	return f.File.WriteAt(p, off)
+}

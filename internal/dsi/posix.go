@@ -1,0 +1,210 @@
+package dsi
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// PosixStorage is a Storage backed by a real directory tree. Each user's
+// sandbox is <root>/<user>; paths are confined to it, reproducing the
+// privilege boundary the GridFTP server's setuid provides.
+type PosixStorage struct {
+	root string
+	mu   sync.RWMutex
+	// known tracks provisioned users; access for others is refused.
+	known map[string]bool
+}
+
+// NewPosixStorage creates a store rooted at dir (created if absent).
+func NewPosixStorage(dir string) (*PosixStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &PosixStorage{root: dir, known: make(map[string]bool)}, nil
+}
+
+// AddUser provisions a user's home sandbox.
+func (s *PosixStorage) AddUser(user string) error {
+	if strings.ContainsAny(user, "/\\") || user == "" || user == "." || user == ".." {
+		return fmt.Errorf("%w: bad username %q", ErrBadPath, user)
+	}
+	if err := os.MkdirAll(filepath.Join(s.root, user), 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.known[user] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// resolve maps (user, gridftp path) to a confined OS path.
+func (s *PosixStorage) resolve(user, p string) (string, error) {
+	s.mu.RLock()
+	ok := s.known[user]
+	s.mu.RUnlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoUser, user)
+	}
+	clean, err := CleanPath(p)
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(s.root, user, filepath.FromSlash(clean)), nil
+}
+
+func mapOSErr(err error, p string) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, fs.ErrNotExist):
+		return fmt.Errorf("%w: %s", ErrNotExist, p)
+	case errors.Is(err, fs.ErrExist):
+		return fmt.Errorf("%w: %s", ErrExist, p)
+	case errors.Is(err, fs.ErrPermission):
+		return fmt.Errorf("%w: %s", ErrDenied, p)
+	default:
+		return err
+	}
+}
+
+// Open implements Storage.
+func (s *PosixStorage) Open(user, p string) (File, error) {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := os.Stat(osp)
+	if err != nil {
+		return nil, mapOSErr(err, p)
+	}
+	if fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	f, err := os.Open(osp)
+	if err != nil {
+		return nil, mapOSErr(err, p)
+	}
+	return &posixFile{f: f}, nil
+}
+
+// Create implements Storage.
+func (s *PosixStorage) Create(user, p string) (File, error) {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(osp); err == nil && fi.IsDir() {
+		return nil, fmt.Errorf("%w: %s", ErrIsDir, p)
+	}
+	f, err := os.OpenFile(osp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, mapOSErr(err, p)
+	}
+	return &posixFile{f: f}, nil
+}
+
+// Stat implements Storage.
+func (s *PosixStorage) Stat(user, p string) (FileInfo, error) {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi, err := os.Stat(osp)
+	if err != nil {
+		return FileInfo{}, mapOSErr(err, p)
+	}
+	return FileInfo{Name: fi.Name(), Size: fi.Size(), ModTime: fi.ModTime(), IsDir: fi.IsDir()}, nil
+}
+
+// List implements Storage.
+func (s *PosixStorage) List(user, p string) ([]FileInfo, error) {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(osp)
+	if err != nil {
+		if fi, statErr := os.Stat(osp); statErr == nil && !fi.IsDir() {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, p)
+		}
+		return nil, mapOSErr(err, p)
+	}
+	infos := make([]FileInfo, 0, len(entries))
+	for _, e := range entries {
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		infos = append(infos, FileInfo{Name: e.Name(), Size: fi.Size(), ModTime: fi.ModTime(), IsDir: e.IsDir()})
+	}
+	sortInfos(infos)
+	return infos, nil
+}
+
+// Mkdir implements Storage.
+func (s *PosixStorage) Mkdir(user, p string) error {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return err
+	}
+	return mapOSErr(os.Mkdir(osp, 0o755), p)
+}
+
+// Remove implements Storage.
+func (s *PosixStorage) Remove(user, p string) error {
+	osp, err := s.resolve(user, p)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(osp); err != nil {
+		var pathErr *os.PathError
+		if errors.As(err, &pathErr) && strings.Contains(pathErr.Err.Error(), "not empty") {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, p)
+		}
+		return mapOSErr(err, p)
+	}
+	return nil
+}
+
+// Rename implements Storage.
+func (s *PosixStorage) Rename(user, from, to string) error {
+	fromOS, err := s.resolve(user, from)
+	if err != nil {
+		return err
+	}
+	toOS, err := s.resolve(user, to)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(toOS); err == nil {
+		return fmt.Errorf("%w: %s", ErrExist, to)
+	}
+	return mapOSErr(os.Rename(fromOS, toOS), from)
+}
+
+type posixFile struct {
+	f *os.File
+}
+
+// ReadAt implements io.ReaderAt.
+func (p *posixFile) ReadAt(b []byte, off int64) (int, error) { return p.f.ReadAt(b, off) }
+
+// WriteAt implements io.WriterAt.
+func (p *posixFile) WriteAt(b []byte, off int64) (int, error) { return p.f.WriteAt(b, off) }
+
+// Size implements File.
+func (p *posixFile) Size() (int64, error) {
+	fi, err := p.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close implements io.Closer.
+func (p *posixFile) Close() error { return p.f.Close() }

@@ -1,0 +1,284 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per figure and quantitative claim in the paper (see
+// DESIGN.md's per-experiment index, E1-E13, plus ablations). Each
+// experiment builds its scenario on the netsim substrate, runs the real
+// protocol stacks, and returns a Table whose rows benchreport prints and
+// EXPERIMENTS.md records.
+//
+// Bandwidths are scaled down (a simulated "10 Gb/s WAN" runs at tens of
+// MB/s wall-clock) so the full suite completes in minutes; the quantities
+// the paper's claims rest on — ratios, crossovers, who wins — are
+// preserved because every competing configuration is scaled identically.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/authz"
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// Table is one experiment's result, formatted like the row/series the
+// paper (or its claims) would report.
+type Table struct {
+	ID      string
+	Title   string
+	Paper   string // the paper anchor and claim being reproduced
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "   paper: %s\n", t.Paper)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "   note: %s\n", n)
+	}
+	return b.String()
+}
+
+// mbps formats a bytes/sec rate as MB/s.
+func mbps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f MB/s", bytesPerSec/1e6)
+}
+
+// rate computes bytes/sec.
+func rate(bytes int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / d.Seconds()
+}
+
+// pattern generates deterministic position-dependent data.
+func pattern(n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte((i*7 + i/251) % 256)
+	}
+	return data
+}
+
+// site is one administrative domain for experiment scenarios.
+type site struct {
+	name    string
+	ca      *gsi.CA
+	trust   *gsi.TrustStore
+	host    *netsim.Host
+	server  *gridftp.Server
+	storage *dsi.MemStorage
+	addr    string
+	user    *gsi.Credential
+	gridmap *authz.Gridmap
+	faults  *dsi.FaultStorage
+}
+
+type siteOptions struct {
+	stripes        int
+	markerInterval time.Duration
+	disableCache   bool
+	withFaults     bool
+}
+
+// newSite builds a GridFTP site with CA, host cred, one user "alice".
+func newSite(nw *netsim.Network, name string, opts siteOptions) (*site, error) {
+	ca, err := gsi.NewCA(gsi.DN("/O=Grid/OU="+name+"/CN=CA"), 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	hostCred, err := ca.Issue(gsi.IssueOptions{
+		Subject: gsi.DN(fmt.Sprintf("/O=Grid/OU=%s/CN=host-%s", name, name)), Lifetime: 12 * time.Hour, Host: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	userCred, err := ca.Issue(gsi.IssueOptions{
+		Subject: gsi.DN(fmt.Sprintf("/O=Grid/OU=%s/CN=alice", name)), Lifetime: 12 * time.Hour,
+	})
+	if err != nil {
+		return nil, err
+	}
+	trust := gsi.NewTrustStore()
+	if err := trust.AddCA(ca.Certificate()); err != nil {
+		return nil, err
+	}
+	storage := dsi.NewMemStorage()
+	storage.AddUser("alice")
+	gm := authz.NewGridmap()
+	gm.AddEntry(userCred.DN(), "alice")
+
+	if opts.markerInterval == 0 {
+		opts.markerInterval = 50 * time.Millisecond
+	}
+	cfg := gridftp.ServerConfig{
+		HostCred:            hostCred,
+		Trust:               trust,
+		Authz:               gm,
+		Storage:             storage,
+		MarkerInterval:      opts.markerInterval,
+		EndpointName:        name,
+		DisableChannelCache: opts.disableCache,
+	}
+	s := &site{
+		name: name, ca: ca, trust: trust, host: nw.Host(name),
+		storage: storage, user: userCred, gridmap: gm,
+	}
+	if opts.withFaults {
+		s.faults = dsi.NewFaultStorage(storage)
+		cfg.Storage = s.faults
+	}
+	for i := 0; i < opts.stripes; i++ {
+		cfg.StripeNodes = append(cfg.StripeNodes, gridftp.StripeNode{
+			Host: nw.Host(fmt.Sprintf("%s-dtp%d", name, i)),
+		})
+	}
+	srv, err := gridftp.NewServer(s.host, cfg)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := srv.ListenAndServe(gridftp.DefaultPort)
+	if err != nil {
+		return nil, err
+	}
+	s.server = srv
+	s.addr = addr.String()
+	return s, nil
+}
+
+func (s *site) close() {
+	if s.server != nil {
+		s.server.Close()
+	}
+}
+
+// connect opens an authenticated session from clientHost with a fresh
+// proxy of the site user, optionally delegating.
+func (s *site) connect(clientHost *netsim.Host, delegate bool) (*gridftp.Client, error) {
+	proxy, err := gsi.NewProxy(s.user, gsi.ProxyOptions{})
+	if err != nil {
+		return nil, err
+	}
+	c, err := gridftp.Dial(clientHost, s.addr, proxy, s.trust)
+	if err != nil {
+		return nil, err
+	}
+	if delegate {
+		if err := c.Delegate(2 * time.Hour); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// putFile writes a file into the site's storage directly.
+func (s *site) putFile(path string, content []byte) error {
+	f, err := s.storage.Create("alice", path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return dsi.WriteAll(f, content)
+}
+
+// newPAMStack builds a one-user LDAP stack for GCMU-based experiments.
+func newPAMStack(domain, user, password string) (*pam.Stack, *pam.AccountDB) {
+	dir := pam.NewLDAPDirectory("dc=" + domain)
+	dir.AddEntry(user, password)
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: user})
+	return pam.NewStack("myproxy", accounts,
+		pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}}), accounts
+}
+
+// All runs every experiment with default parameters, in order.
+func All() []func() (*Table, error) {
+	return []func() (*Table, error){
+		func() (*Table, error) { return RunE1Usage(DefaultE1()) },
+		func() (*Table, error) { return RunE2ParallelStreams(DefaultE2()) },
+		func() (*Table, error) { return RunE3DcauOverhead(DefaultE3()) },
+		func() (*Table, error) { return RunE4DcscMatrix() },
+		func() (*Table, error) { return RunE5Setup() },
+		func() (*Table, error) { return RunE6Checkpoint(DefaultE6()) },
+		func() (*Table, error) { return RunE7SmallFiles(DefaultE7()) },
+		func() (*Table, error) { return RunE8Striping(DefaultE8()) },
+		func() (*Table, error) { return RunE9ThirdParty(DefaultE9()) },
+		func() (*Table, error) { return RunE10Workflow() },
+		func() (*Table, error) { return RunE11OAuthAudit() },
+		func() (*Table, error) { return RunE12ControlSecurity() },
+		func() (*Table, error) { return RunAblationBlockSize(DefaultAblationBlockSize()) },
+		func() (*Table, error) { return RunAblationChannelCache(DefaultAblationCache()) },
+		func() (*Table, error) { return RunAblationAutotune(DefaultAblationAutotune()) },
+		func() (*Table, error) { return RunAblationTransport(DefaultAblationTransport()) },
+	}
+}
+
+// ByID maps experiment ids to runners for benchreport -exp.
+func ByID() map[string]func() (*Table, error) {
+	return map[string]func() (*Table, error){
+		"e1":        func() (*Table, error) { return RunE1Usage(DefaultE1()) },
+		"e2":        func() (*Table, error) { return RunE2ParallelStreams(DefaultE2()) },
+		"e3":        func() (*Table, error) { return RunE3DcauOverhead(DefaultE3()) },
+		"e4":        func() (*Table, error) { return RunE4DcscMatrix() },
+		"e5":        func() (*Table, error) { return RunE5Setup() },
+		"e6":        func() (*Table, error) { return RunE6Checkpoint(DefaultE6()) },
+		"e7":        func() (*Table, error) { return RunE7SmallFiles(DefaultE7()) },
+		"e8":        func() (*Table, error) { return RunE8Striping(DefaultE8()) },
+		"e9":        func() (*Table, error) { return RunE9ThirdParty(DefaultE9()) },
+		"e10":       func() (*Table, error) { return RunE10Workflow() },
+		"e11":       func() (*Table, error) { return RunE11OAuthAudit() },
+		"e12":       func() (*Table, error) { return RunE12ControlSecurity() },
+		"blocksize": func() (*Table, error) { return RunAblationBlockSize(DefaultAblationBlockSize()) },
+		"cache":     func() (*Table, error) { return RunAblationChannelCache(DefaultAblationCache()) },
+		"autotune":  func() (*Table, error) { return RunAblationAutotune(DefaultAblationAutotune()) },
+		"transport": func() (*Table, error) { return RunAblationTransport(DefaultAblationTransport()) },
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestGoroutineLeakAfterE2(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, err := RunE2ParallelStreams(E2Config{
+		FileBytes:   256 << 10,
+		Link:        DefaultE2().Link,
+		Parallelism: []int{1, 4, 16},
+		Loss:        []float64{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	after := runtime.NumGoroutine()
+	t.Logf("goroutines before=%d after=%d", before, after)
+	if after > before+20 {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("leaked %d goroutines:\n%s", after-before, truncate(string(buf[:n]), 4000))
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

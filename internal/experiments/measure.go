@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"time"
+
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// Exported single-measurement entry points for the root benchmark harness
+// (bench_test.go): each returns the bytes/sec of one transfer under one
+// configuration, so testing.B can iterate and report per-config metrics
+// without re-running a whole experiment sweep per iteration.
+
+// MeasureWanRate runs one GridFTP download over a shaped WAN link.
+func MeasureWanRate(link netsim.LinkParams, fileBytes, parallelism int, stream bool) (float64, error) {
+	mode := gridftp.ModeExtended
+	if stream {
+		mode = gridftp.ModeStream
+	}
+	return gridftpWanRate(link, fileBytes, parallelism, mode)
+}
+
+// MeasureSCPRate runs one SCP download over a shaped WAN link.
+func MeasureSCPRate(link netsim.LinkParams, fileBytes int) (float64, error) {
+	return scpWanRate(link, fileBytes)
+}
+
+// MeasureProtRate runs one download at the given protection level over an
+// unshaped (CPU-bound) link.
+func MeasureProtRate(fileBytes int, prot gridftp.ProtLevel) (float64, error) {
+	return protRate(fileBytes, prot)
+}
+
+// MeasureStripedRate runs one striped third-party transfer.
+func MeasureStripedRate(cfg E8Config, stripes int) (float64, error) {
+	return stripedRate(cfg, stripes)
+}
+
+// MeasureDcscScenario runs one E4 matrix cell and reports success.
+func MeasureDcscScenario(sameCA bool, dcscWhat string) (bool, error) {
+	return runDcscScenario(sameCA, dcscWhat)
+}
+
+// MeasureGCMUFirstTransfer times install -> logon -> first transfer.
+func MeasureGCMUFirstTransfer() (time.Duration, error) {
+	return timeGCMUFirstTransfer()
+}
+
+// MeasureCheckpointTask runs one fault-injected hosted transfer and
+// returns the bytes moved across all attempts.
+func MeasureCheckpointTask(cfg E6Config, checkpoints bool) (int64, error) {
+	task, err := runE6Once(cfg, checkpoints)
+	if err != nil {
+		return 0, err
+	}
+	return task.BytesTransferred, nil
+}
+
+// MeasureCacheRun times a many-small-files session with caching on/off.
+func MeasureCacheRun(cfg AblationCacheConfig, cached bool) (time.Duration, error) {
+	return cacheRun(cfg, cached)
+}
+
+// MeasureBlockSizeRate runs one download at the given MODE E block size.
+func MeasureBlockSizeRate(cfg AblationBlockSizeConfig, blockSize int) (float64, error) {
+	return blockSizeRate(cfg, blockSize)
+}

@@ -1,0 +1,317 @@
+// Package ftp implements the RFC 959 control-channel core that GridFTP
+// extends: command and reply line discipline (CRLF, multi-line replies,
+// preliminary replies), reply-code classification, and a connection
+// wrapper that supports mid-session transport upgrades (the AUTH TLS
+// security handshake replaces the raw socket with an encrypted one).
+package ftp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Reply codes used throughout the GridFTP implementation.
+const (
+	CodeRestartMarker    = 111 // GridFTP restart marker (perf/range markers)
+	CodeFileStatusOK     = 150 // about to open data connection
+	CodeOK               = 200
+	CodeFeatures         = 211
+	CodeFileStatus       = 213 // e.g. SIZE reply
+	CodeReadyForNewUser  = 220
+	CodeClosingData      = 226 // transfer complete
+	CodeEnteringPassive  = 227
+	CodeEnteringExtPasv  = 229
+	CodeUserLoggedIn     = 230
+	CodeFileActionOK     = 250
+	CodePathCreated      = 257
+	CodeAuthOK           = 234 // RFC 2228 security exchange complete
+	CodeNeedPassword     = 331
+	CodeNeedAccount      = 350 // requested action pending further info (REST)
+	CodeServiceNotAvail  = 421
+	CodeCantOpenData     = 425
+	CodeTransferAborted  = 426
+	CodeActionNotTaken   = 450
+	CodeLocalError       = 451
+	CodeSyntaxError      = 500
+	CodeParamSyntaxError = 501
+	CodeNotImplemented   = 502
+	CodeBadSequence      = 503
+	CodeParamNotImpl     = 504
+	CodeNotLoggedIn      = 530
+	CodeFileUnavailable  = 550
+	CodeActionAborted    = 551
+	CodeBadFileName      = 553
+)
+
+// Command is one parsed control-channel command.
+type Command struct {
+	// Name is the upper-cased verb, e.g. "RETR", "DCSC", "SPAS".
+	Name string
+	// Params is the raw parameter text (may be empty).
+	Params string
+}
+
+// String renders the command in wire form without the trailing CRLF.
+func (c Command) String() string {
+	if c.Params == "" {
+		return c.Name
+	}
+	return c.Name + " " + c.Params
+}
+
+// ParseCommand parses one command line (without CRLF).
+func ParseCommand(line string) (Command, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return Command{}, fmt.Errorf("ftp: empty command")
+	}
+	name, params, _ := strings.Cut(line, " ")
+	name = strings.ToUpper(name)
+	for _, r := range name {
+		if r < 'A' || r > 'Z' {
+			return Command{}, fmt.Errorf("ftp: malformed command %q", line)
+		}
+	}
+	return Command{Name: name, Params: params}, nil
+}
+
+// Reply is one (possibly multi-line) control-channel reply.
+type Reply struct {
+	Code int
+	// Lines are the reply text lines; for single-line replies there is
+	// exactly one entry.
+	Lines []string
+}
+
+// Text returns the reply's lines joined by newlines.
+func (r Reply) Text() string { return strings.Join(r.Lines, "\n") }
+
+// String renders a human-readable "code text" form.
+func (r Reply) String() string {
+	return fmt.Sprintf("%d %s", r.Code, strings.Join(r.Lines, " / "))
+}
+
+// Preliminary reports a 1xx reply (more replies follow for this command).
+func (r Reply) Preliminary() bool { return r.Code >= 100 && r.Code < 200 }
+
+// Success reports a 2xx reply.
+func (r Reply) Success() bool { return r.Code >= 200 && r.Code < 300 }
+
+// Intermediate reports a 3xx reply.
+func (r Reply) Intermediate() bool { return r.Code >= 300 && r.Code < 400 }
+
+// TransientError reports a 4xx reply.
+func (r Reply) TransientError() bool { return r.Code >= 400 && r.Code < 500 }
+
+// PermanentError reports a 5xx reply.
+func (r Reply) PermanentError() bool { return r.Code >= 500 }
+
+// Err converts an error reply into a Go error (nil for 1xx-3xx).
+func (r Reply) Err() error {
+	if r.Code < 400 {
+		return nil
+	}
+	return &ReplyError{Reply: r}
+}
+
+// ReplyError wraps an error reply.
+type ReplyError struct {
+	Reply Reply
+}
+
+// Error implements the error interface.
+func (e *ReplyError) Error() string { return "ftp: " + e.Reply.String() }
+
+// Temporary reports whether the failure is transient (4xx), the signal the
+// Globus Online-style transfer service uses to decide whether to retry.
+func (e *ReplyError) Temporary() bool { return e.Reply.TransientError() }
+
+// Conn wraps a net.Conn with FTP line discipline. It is used by both the
+// server PI (read commands, write replies) and the client PI (write
+// commands, read replies).
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn wraps a transport connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+}
+
+// Upgrade replaces the underlying transport (after a TLS handshake). Any
+// data buffered from the old transport is discarded; the protocol
+// guarantees the upgrade happens at a message boundary.
+func (c *Conn) Upgrade(nc net.Conn) {
+	c.nc = nc
+	c.br = bufio.NewReader(nc)
+	c.bw = bufio.NewWriter(nc)
+}
+
+// Transport returns the current underlying connection.
+func (c *Conn) Transport() net.Conn { return c.nc }
+
+// RW returns an io.ReadWriter view of the connection that reads through
+// the line buffer (so bytes already buffered are not lost) and writes to
+// the transport. In-band exchanges such as GSI delegation use it.
+func (c *Conn) RW() io.ReadWriter { return bufferedRW{c} }
+
+type bufferedRW struct{ c *Conn }
+
+func (b bufferedRW) Read(p []byte) (int, error) { return b.c.br.Read(p) }
+func (b bufferedRW) Write(p []byte) (int, error) {
+	n, err := b.c.bw.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, b.c.bw.Flush()
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetDeadline sets both read and write deadlines on the transport.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// ReadCommand reads and parses the next command line.
+func (c *Conn) ReadCommand() (Command, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return Command{}, err
+	}
+	return ParseCommand(line)
+}
+
+// WriteCommand sends a command line.
+func (c *Conn) WriteCommand(cmd Command) error {
+	if _, err := c.bw.WriteString(cmd.String() + "\r\n"); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Cmd formats and sends a command.
+func (c *Conn) Cmd(name, format string, args ...any) error {
+	params := fmt.Sprintf(format, args...)
+	return c.WriteCommand(Command{Name: name, Params: params})
+}
+
+// WriteReply sends a reply; multiple lines produce the RFC 959 multi-line
+// form ("code-first ... code last").
+func (c *Conn) WriteReply(code int, lines ...string) error {
+	if len(lines) == 0 {
+		lines = []string{"OK"}
+	}
+	if len(lines) == 1 {
+		if _, err := fmt.Fprintf(c.bw, "%d %s\r\n", code, lines[0]); err != nil {
+			return err
+		}
+		return c.bw.Flush()
+	}
+	for i, line := range lines {
+		var err error
+		switch {
+		case i == 0:
+			_, err = fmt.Fprintf(c.bw, "%d-%s\r\n", code, line)
+		case i == len(lines)-1:
+			_, err = fmt.Fprintf(c.bw, "%d %s\r\n", code, line)
+		default:
+			_, err = fmt.Fprintf(c.bw, " %s\r\n", line)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return c.bw.Flush()
+}
+
+// ReadReply reads one full reply, collecting multi-line bodies.
+func (c *Conn) ReadReply() (Reply, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return Reply{}, err
+	}
+	if len(line) < 4 {
+		return Reply{}, fmt.Errorf("ftp: short reply line %q", line)
+	}
+	code, err := strconv.Atoi(line[:3])
+	if err != nil || code < 100 || code > 599 {
+		return Reply{}, fmt.Errorf("ftp: bad reply code in %q", line)
+	}
+	sep := line[3]
+	reply := Reply{Code: code, Lines: []string{line[4:]}}
+	if sep == ' ' {
+		return reply, nil
+	}
+	if sep != '-' {
+		return Reply{}, fmt.Errorf("ftp: bad reply separator in %q", line)
+	}
+	terminator := line[:3] + " "
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return Reply{}, err
+		}
+		if strings.HasPrefix(line, terminator) {
+			reply.Lines = append(reply.Lines, line[4:])
+			return reply, nil
+		}
+		reply.Lines = append(reply.Lines, strings.TrimPrefix(line, " "))
+	}
+}
+
+// ReadFinalReply reads replies until a non-preliminary one arrives,
+// invoking onPreliminary (if non-nil) for each 1xx reply — restart and
+// performance markers flow through this path.
+func (c *Conn) ReadFinalReply(onPreliminary func(Reply)) (Reply, error) {
+	for {
+		r, err := c.ReadReply()
+		if err != nil {
+			return Reply{}, err
+		}
+		if r.Preliminary() {
+			if onPreliminary != nil {
+				onPreliminary(r)
+			}
+			continue
+		}
+		return r, nil
+	}
+}
+
+// Expect reads a final reply and errors unless its code matches one of
+// want.
+func (c *Conn) Expect(want ...int) (Reply, error) {
+	r, err := c.ReadFinalReply(nil)
+	if err != nil {
+		return Reply{}, err
+	}
+	for _, w := range want {
+		if r.Code == w {
+			return r, nil
+		}
+	}
+	if err := r.Err(); err != nil {
+		return r, err
+	}
+	return r, fmt.Errorf("ftp: unexpected reply %s (want %v)", r, want)
+}
+
+const maxLineLen = 1 << 20 // DCSC blobs ride on command lines; allow 1 MiB
+
+func (c *Conn) readLine() (string, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	if len(line) > maxLineLen {
+		return "", fmt.Errorf("ftp: line exceeds %d bytes", maxLineLen)
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}

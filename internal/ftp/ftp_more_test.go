@@ -1,0 +1,108 @@
+package ftp
+
+import (
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCmdFormatting(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	go ca.Cmd("OPTS", "RETR Parallelism=%d,%d,%d;", 4, 4, 4)
+	cmd, err := cb.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd.Params != "RETR Parallelism=4,4,4;" {
+		t.Fatalf("params %q", cmd.Params)
+	}
+	if cmd.String() != "OPTS RETR Parallelism=4,4,4;" {
+		t.Fatalf("wire form %q", cmd.String())
+	}
+	if (Command{Name: "NOOP"}).String() != "NOOP" {
+		t.Fatal("bare command wire form")
+	}
+}
+
+func TestReplyText(t *testing.T) {
+	r := Reply{Code: 211, Lines: []string{"a", "b", "c"}}
+	if r.Text() != "a\nb\nc" {
+		t.Fatalf("%q", r.Text())
+	}
+	if !strings.Contains(r.String(), "211") {
+		t.Fatalf("%q", r.String())
+	}
+}
+
+func TestWriteReplyDefaultsToOK(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	go ca.WriteReply(200)
+	r, err := cb.ReadReply()
+	if err != nil || r.Lines[0] != "OK" {
+		t.Fatalf("%v %v", r, err)
+	}
+}
+
+func TestConnDeadline(t *testing.T) {
+	a, b := net.Pipe()
+	ca := NewConn(a)
+	defer b.Close()
+	ca.SetDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := ca.ReadReply(); err == nil {
+		t.Fatal("deadline not enforced")
+	}
+}
+
+func TestRWInterleavesWithLineProtocol(t *testing.T) {
+	// A reply, then raw bytes through RW, then another reply — the
+	// pattern delegation uses — must not lose or reorder bytes.
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	go func() {
+		ca.WriteReply(200, "before")
+		ca.RW().Write([]byte("RAWDATA\n"))
+		ca.WriteReply(200, "after")
+	}()
+	if r, err := cb.ReadReply(); err != nil || r.Lines[0] != "before" {
+		t.Fatalf("%v %v", r, err)
+	}
+	raw := make([]byte, 8)
+	if _, err := io.ReadFull(cb.RW(), raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "RAWDATA\n" {
+		t.Fatalf("%q", raw)
+	}
+	if r, err := cb.ReadReply(); err != nil || r.Lines[0] != "after" {
+		t.Fatalf("%v %v", r, err)
+	}
+}
+
+func TestMultilineReplyWithBlankInteriorLines(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	go ca.WriteReply(211, "Features:", "", "MODE E", "End")
+	r, err := cb.ReadReply()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Lines) != 4 || r.Lines[1] != "" || r.Lines[3] != "End" {
+		t.Fatalf("%v", r.Lines)
+	}
+}
+
+func TestReadFinalReplyPropagatesReadError(t *testing.T) {
+	a, b := net.Pipe()
+	ca := NewConn(a)
+	go func() {
+		b.Write([]byte("150 preliminary\r\n"))
+		b.Close()
+	}()
+	if _, err := ca.ReadFinalReply(nil); err == nil {
+		t.Fatal("EOF mid-reply-stream not reported")
+	}
+}

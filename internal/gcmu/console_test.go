@@ -1,0 +1,145 @@
+package gcmu
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+	"gridftp.dev/instant/internal/usagestats"
+)
+
+func consoleEnv(t *testing.T) (*netsim.Network, *Endpoint, *Console, string) {
+	t.Helper()
+	nw := netsim.NewNetwork()
+	usage := usagestats.NewCollector()
+	ep := installSite(t, nw, "siteA", func(o *Options) { o.Usage = usage })
+	console := &Console{Endpoint: ep, Token: "admin-token", Usage: usage}
+	addr, err := console.ListenAndServe(8443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { console.Close() })
+	return nw, ep, console, "https://" + addr.String()
+}
+
+func consoleGet(t *testing.T, nw *netsim.Network, ep *Endpoint, url, token string, out any) int {
+	t.Helper()
+	hc := ConsoleHTTPClient(nw.Host("admin"), ep)
+	req, _ := http.NewRequest("GET", url, nil)
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func consolePost(t *testing.T, nw *netsim.Network, ep *Endpoint, url, token string, body any, out any) int {
+	t.Helper()
+	hc := ConsoleHTTPClient(nw.Host("admin"), ep)
+	b, _ := json.Marshal(body)
+	req, _ := http.NewRequest("POST", url, bytes.NewReader(b))
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := hc.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+func TestConsoleStatus(t *testing.T) {
+	nw, ep, _, base := consoleEnv(t)
+	var status statusReply
+	if code := consoleGet(t, nw, ep, base+"/status", "admin-token", &status); code != http.StatusOK {
+		t.Fatalf("status code %d", code)
+	}
+	if status.Name != "siteA" || status.GridFTPAddr == "" || status.MyProxyAddr == "" {
+		t.Fatalf("status %+v", status)
+	}
+	if !status.GridmapFree {
+		t.Fatal("GCMU endpoints are gridmap-free")
+	}
+	if len(status.Accounts) != 2 {
+		t.Fatalf("accounts %v", status.Accounts)
+	}
+}
+
+func TestConsoleAuthRequired(t *testing.T) {
+	nw, ep, _, base := consoleEnv(t)
+	if code := consoleGet(t, nw, ep, base+"/status", "", nil); code != http.StatusUnauthorized {
+		t.Fatalf("no token: %d", code)
+	}
+	if code := consoleGet(t, nw, ep, base+"/status", "wrong", nil); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token: %d", code)
+	}
+}
+
+func TestConsoleAccountLifecycle(t *testing.T) {
+	nw, ep, _, base := consoleEnv(t)
+	var created map[string]any
+	if code := consolePost(t, nw, ep, base+"/accounts", "admin-token",
+		map[string]string{"name": "newuser"}, &created); code != http.StatusOK {
+		t.Fatalf("add account: %d", code)
+	}
+	if created["name"] != "newuser" {
+		t.Fatalf("created %v", created)
+	}
+	// The new account is immediately usable: the storage sandbox exists.
+	if _, err := ep.Storage.List("newuser", "/"); err != nil {
+		t.Fatalf("sandbox missing: %v", err)
+	}
+	// Lock it: logons must fail even with the right password.
+	if code := consolePost(t, nw, ep, base+"/accounts/lock", "admin-token",
+		map[string]any{"name": "alice", "locked": true}, nil); code != http.StatusOK {
+		t.Fatal("lock failed")
+	}
+	if _, err := ep.Logon(nw.Host("laptop"), "alice", pam.PasswordConv("alicepw")); err == nil {
+		t.Fatal("locked account obtained a credential")
+	}
+	// Unlock restores service.
+	consolePost(t, nw, ep, base+"/accounts/lock", "admin-token",
+		map[string]any{"name": "alice", "locked": false}, nil)
+	if _, err := ep.Logon(nw.Host("laptop"), "alice", pam.PasswordConv("alicepw")); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown account lock is a 404.
+	if code := consolePost(t, nw, ep, base+"/accounts/lock", "admin-token",
+		map[string]any{"name": "ghost", "locked": true}, nil); code != http.StatusNotFound {
+		t.Fatalf("ghost lock: %d", code)
+	}
+}
+
+func TestConsoleUsage(t *testing.T) {
+	nw, ep, _, base := consoleEnv(t)
+	client, err := ep.Connect(nw.Host("laptop"), "alice", pam.PasswordConv("alicepw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Put("/u.bin", dsi.NewBufferFile(bytes.Repeat([]byte("u"), 1000))); err != nil {
+		t.Fatal(err)
+	}
+	var usage struct {
+		Days []usagestats.DayStats `json:"days"`
+	}
+	if code := consoleGet(t, nw, ep, base+"/usage", "admin-token", &usage); code != http.StatusOK {
+		t.Fatal("usage endpoint failed")
+	}
+	if len(usage.Days) != 1 || usage.Days[0].Transfers != 1 {
+		t.Fatalf("usage %+v", usage)
+	}
+}

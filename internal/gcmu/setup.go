@@ -1,0 +1,122 @@
+package gcmu
+
+import "time"
+
+// The paper's central usability claim (§III vs §IV) is about *setup
+// complexity*: conventional GridFTP requires a multi-step, partly human,
+// partly out-of-band process, while GCMU is four commands. This file
+// models both workflows as explicit step lists so the setup experiment
+// (E5) can count steps, manual interventions, and time-to-first-transfer.
+
+// StepKind classifies what a setup step costs.
+type StepKind int
+
+const (
+	// Scripted steps run unattended (download, untar, make, install).
+	Scripted StepKind = iota
+	// Manual steps need a human at a keyboard (editing config, key
+	// generation ceremonies, filling web forms).
+	Manual
+	// OutOfBand steps wait on another human or organization (CA vetting,
+	// emailing the admin a DN, waiting for a gridmap update).
+	OutOfBand
+)
+
+// String implements fmt.Stringer.
+func (k StepKind) String() string {
+	switch k {
+	case Scripted:
+		return "scripted"
+	case Manual:
+		return "manual"
+	case OutOfBand:
+		return "out-of-band"
+	}
+	return "unknown"
+}
+
+// Step is one unit of setup work with a representative latency. The
+// latencies are order-of-magnitude figures — scripted steps take seconds
+// to minutes, manual steps minutes, out-of-band steps hours to days
+// (CA vetting "sometimes requires ... out-of-band vetting", §IV).
+type Step struct {
+	Name    string
+	Kind    StepKind
+	Latency time.Duration
+	// Section anchors the step to the paper's enumeration (§III.A).
+	Section string
+}
+
+// ConventionalServerSetup returns the classic GridFTP server install
+// (§III.A steps 1a-1d and 2e-2h).
+func ConventionalServerSetup() []Step {
+	return []Step{
+		{"download Globus tarball", Scripted, 2 * time.Minute, "III.A.1a"},
+		{"untar", Scripted, 30 * time.Second, "III.A.1b"},
+		{"run configure", Scripted, 5 * time.Minute, "III.A.1c"},
+		{"make && make install", Scripted, 20 * time.Minute, "III.A.1d"},
+		{"obtain X.509 host certificate from well-known CA", OutOfBand, 24 * time.Hour, "III.A.2e"},
+		{"install host certificate", Manual, 10 * time.Minute, "III.A.2f"},
+		{"configure trusted certificates directory", Manual, 15 * time.Minute, "III.A.2g"},
+		{"set up gridmap (DN -> local account mappings)", Manual, 15 * time.Minute, "III.A.2h"},
+	}
+}
+
+// ConventionalUserSetup returns the classic per-user security setup
+// (§III.A step 3).
+func ConventionalUserSetup() []Step {
+	return []Step{
+		{"obtain X.509 user certificate from well-known CA (vetting)", OutOfBand, 24 * time.Hour, "III.A.3"},
+		{"generate key pair / CSR with OpenSSL or export from browser", Manual, 20 * time.Minute, "IV"},
+		{"install user certificate", Manual, 10 * time.Minute, "III.A.3"},
+		{"configure trusted certificates directory", Manual, 10 * time.Minute, "III.A.3"},
+		{"send DN to server admin for gridmap entry", OutOfBand, 4 * time.Hour, "III.A.3"},
+	}
+}
+
+// GCMUServerSetup returns the GCMU install (§IV.D): four commands.
+func GCMUServerSetup() []Step {
+	return []Step{
+		{"wget globusconnect-multiuser-latest.tgz", Scripted, 30 * time.Second, "IV.D"},
+		{"tar -xvzf", Scripted, 10 * time.Second, "IV.D"},
+		{"cd gcmu*", Scripted, time.Second, "IV.D"},
+		{"sudo ./install", Scripted, 2 * time.Minute, "IV.D"},
+	}
+}
+
+// GCMUClientSetup returns the GCMU client setup (§IV.E): install plus a
+// myproxy-logon with the user's existing site password.
+func GCMUClientSetup() []Step {
+	return []Step{
+		{"wget globusconnect-multiuser-latest.tgz", Scripted, 30 * time.Second, "IV.E"},
+		{"tar -xvzf && sudo ./install-client", Scripted, time.Minute, "IV.E"},
+		{"myproxy-logon -b -T -s <server> (site username/password)", Manual, time.Minute, "IV.E"},
+	}
+}
+
+// Summary aggregates a step list.
+type Summary struct {
+	Steps     int
+	Manual    int
+	OutOfBand int
+	TotalTime time.Duration
+	HumanTime time.Duration // manual + out-of-band latency
+}
+
+// Summarize reduces steps to a summary.
+func Summarize(steps []Step) Summary {
+	var s Summary
+	for _, st := range steps {
+		s.Steps++
+		s.TotalTime += st.Latency
+		switch st.Kind {
+		case Manual:
+			s.Manual++
+			s.HumanTime += st.Latency
+		case OutOfBand:
+			s.OutOfBand++
+			s.HumanTime += st.Latency
+		}
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package gridftp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+func TestChecksumCommand(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	payload := pattern(100000)
+	s.putFile(t, "/c.bin", payload)
+
+	want := sha256.Sum256(payload)
+	got, err := c.Checksum("sha256", "/c.bin", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hex.EncodeToString(want[:]) {
+		t.Fatalf("checksum %s want %s", got, hex.EncodeToString(want[:]))
+	}
+
+	// Region checksum.
+	region := sha256.Sum256(payload[1000:6000])
+	got, err = c.Checksum("SHA256", "/c.bin", 1000, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != hex.EncodeToString(region[:]) {
+		t.Fatal("region checksum mismatch")
+	}
+
+	// Other algorithms respond and differ.
+	md5sum, err := c.Checksum("MD5", "/c.bin", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adler, err := c.Checksum("ADLER32", "/c.bin", 0, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md5sum == adler || len(md5sum) != 32 || len(adler) != 8 {
+		t.Fatalf("md5=%s adler=%s", md5sum, adler)
+	}
+
+	// Error paths.
+	if _, err := c.Checksum("ROT13", "/c.bin", 0, -1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := c.Checksum("MD5", "/missing", 0, -1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := c.Checksum("MD5", "/c.bin", -5, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestVerifyTransferEndToEnd(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	payload := pattern(300000)
+	src := dsi.NewBufferFile(payload)
+	if _, err := c.Put("/v.bin", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyTransfer("SHA256", "/v.bin", src); err != nil {
+		t.Fatalf("post-transfer verification failed: %v", err)
+	}
+	// Corrupt the server copy: verification must catch it.
+	f, err := s.storage.Open("alice", "/v.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteAt([]byte{0xFF, 0xFE}, 1234)
+	f.Close()
+	if err := c.VerifyTransfer("SHA256", "/v.bin", src); err == nil {
+		t.Fatal("verification missed server-side corruption")
+	}
+}

@@ -1,0 +1,919 @@
+package gridftp
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/ftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// Client is a GridFTP client protocol interpreter with its own DTP, able
+// to upload, download, list, and orchestrate third-party transfers.
+type Client struct {
+	ctrl  *ftp.Conn
+	host  *netsim.Host
+	cred  *gsi.Credential
+	trust *gsi.TrustStore
+
+	// ServerIdentity is the GSI identity the server's host certificate
+	// presented on the control channel.
+	ServerIdentity gsi.DN
+
+	spec     ChannelSpec
+	restart  []Range
+	markerCB func([]Range)
+
+	// Active-mode state: a listener on the client host plus pooled
+	// accepted channels; passive-mode state: pooled dialed channels.
+	// acceptCh/acceptErr are fed by a single pump goroutine owning the
+	// listener, so canceled transfers cannot strand accepted connections.
+	// lmu guards the listener fields: handshake pump goroutines may read
+	// them concurrently with Close.
+	lmu            sync.Mutex
+	dataListener   net.Listener
+	acceptCh       chan net.Conn
+	acceptErr      chan error
+	pooledAccepted []*dataChannel
+	pooledDialed   []*dataChannel
+	passiveAddrs   []string
+
+	cacheDisabled bool
+	delegated     bool
+}
+
+// DialOptions tweak client connection behaviour.
+type DialOptions struct {
+	// DisableChannelCache turns off data channel reuse across transfers.
+	DisableChannelCache bool
+}
+
+// Dial connects to a GridFTP server at addr from the given simulated host,
+// performs the AUTH TLS security exchange with cred, and verifies the
+// server against trust.
+func Dial(host *netsim.Host, addr string, cred *gsi.Credential, trust *gsi.TrustStore) (*Client, error) {
+	return DialWithOptions(host, addr, cred, trust, DialOptions{})
+}
+
+// DialWithOptions is Dial with explicit options.
+func DialWithOptions(host *netsim.Host, addr string, cred *gsi.Credential, trust *gsi.TrustStore, opts DialOptions) (*Client, error) {
+	raw, err := host.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		ctrl:          ftp.NewConn(raw),
+		host:          host,
+		cred:          cred,
+		trust:         trust,
+		spec:          ChannelSpec{Mode: ModeExtended}.Normalize(),
+		cacheDisabled: opts.DisableChannelCache,
+	}
+	if _, err := c.ctrl.Expect(ftp.CodeReadyForNewUser); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if err := c.ctrl.Cmd("AUTH", "TLS"); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	if _, err := c.ctrl.Expect(ftp.CodeAuthOK); err != nil {
+		raw.Close()
+		return nil, err
+	}
+	tc := tls.Client(raw, gsi.ClientTLSConfig(cred, trust))
+	raw.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := tc.Handshake(); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("gridftp: control handshake: %w", err)
+	}
+	raw.SetDeadline(time.Time{})
+	srvID, err := gsi.PeerIdentity(tc, trust)
+	if err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("gridftp: server verification: %w", err)
+	}
+	c.ServerIdentity = srvID.Identity
+	c.ctrl.Upgrade(tc)
+	if _, err := c.ctrl.Expect(ftp.CodeUserLoggedIn); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("gridftp: login: %w", err)
+	}
+	// Negotiate the client's default mode (MODE E) explicitly — the
+	// server session starts in RFC 959 stream mode.
+	if _, err := c.cmdExpect("MODE", "E", ftp.CodeOK); err != nil {
+		raw.Close()
+		return nil, fmt.Errorf("gridftp: MODE E: %w", err)
+	}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.flushPools()
+	c.lmu.Lock()
+	if c.dataListener != nil {
+		c.dataListener.Close()
+		c.dataListener = nil
+	}
+	c.lmu.Unlock()
+	c.ctrl.Cmd("QUIT", "")
+	c.ctrl.Expect(221)
+	return c.ctrl.Close()
+}
+
+func (c *Client) flushPools() {
+	closeChannels(c.pooledAccepted)
+	closeChannels(c.pooledDialed)
+	c.pooledAccepted = nil
+	c.pooledDialed = nil
+	c.passiveAddrs = nil
+}
+
+// cmdExpect sends a command and requires one of the given reply codes.
+func (c *Client) cmdExpect(name, params string, want ...int) (ftp.Reply, error) {
+	if err := c.ctrl.Cmd(name, "%s", params); err != nil {
+		return ftp.Reply{}, err
+	}
+	return c.ctrl.Expect(want...)
+}
+
+// Delegate delegates a proxy of the client credential to the server over
+// the encrypted control channel; the server uses it to authenticate data
+// channels on the user's behalf (required for DCAU unless DCSC is used).
+func (c *Client) Delegate(lifetime time.Duration) error {
+	if c.cred == nil {
+		return ErrLiteNoDelegation
+	}
+	if err := c.ctrl.Cmd("DELG", ""); err != nil {
+		return err
+	}
+	if _, err := c.ctrl.Expect(335); err != nil {
+		return err
+	}
+	if err := gsi.Delegate(c.ctrl.RW(), c.cred, lifetime); err != nil {
+		return err
+	}
+	if _, err := c.ctrl.Expect(ftp.CodeOK); err != nil {
+		return err
+	}
+	c.delegated = true
+	return nil
+}
+
+// Features runs FEAT and returns the advertised feature lines.
+func (c *Client) Features() ([]string, error) {
+	r, err := c.cmdExpect("FEAT", "", ftp.CodeFeatures)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Lines) >= 2 {
+		return r.Lines[1 : len(r.Lines)-1], nil
+	}
+	return nil, nil
+}
+
+// SupportsDCSC reports whether the server advertises the DCSC extension.
+func (c *Client) SupportsDCSC() bool {
+	feats, err := c.Features()
+	if err != nil {
+		return false
+	}
+	for _, f := range feats {
+		if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(f)), "DCSC") {
+			return true
+		}
+	}
+	return false
+}
+
+// SetParallelism negotiates the number of parallel data streams.
+func (c *Client) SetParallelism(n int) error {
+	if n == c.spec.Parallelism {
+		return nil
+	}
+	if _, err := c.cmdExpect("OPTS", fmt.Sprintf("RETR Parallelism=%d,%d,%d;", n, n, n), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.Parallelism = n
+	c.flushPools()
+	return nil
+}
+
+// SetBlockSize negotiates the MODE E block size.
+func (c *Client) SetBlockSize(n int) error {
+	if _, err := c.cmdExpect("OPTS", fmt.Sprintf("RETR BlockSize=%d;", n), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.BlockSize = n
+	return nil
+}
+
+// SetMarkerInterval asks the receiving server to emit restart markers
+// every interval (rounded to milliseconds).
+func (c *Client) SetMarkerInterval(interval time.Duration) error {
+	ms := int(interval / time.Millisecond)
+	if _, err := c.cmdExpect("OPTS", fmt.Sprintf("RETR Markers=%d;", ms), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.MarkerInterval = interval
+	return nil
+}
+
+// SetMode switches between stream (S) and extended block (E) mode.
+func (c *Client) SetMode(m TransferMode) error {
+	if _, err := c.cmdExpect("MODE", string(rune(m)), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.Mode = m
+	c.spec = c.spec.Normalize()
+	c.flushPools()
+	return nil
+}
+
+// SetDCAU sets the data channel authentication mode.
+func (c *Client) SetDCAU(m DCAUMode) error {
+	if _, err := c.cmdExpect("DCAU", string(rune(m)), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.DCAU = m
+	if m == DCAUNone {
+		c.spec.Prot = ProtClear
+	}
+	c.flushPools()
+	return nil
+}
+
+// SetTransport selects the data channel transport protocol: TCP (default)
+// or UDT, the rate-based protocol GridFTP reaches through its XIO driver
+// interface (§II.A [9]). UDT streams are not window- or loss-limited.
+func (c *Client) SetTransport(tr netsim.Transport) error {
+	name := "TCP"
+	if tr == netsim.TransportUDT {
+		name = "UDT"
+	}
+	if _, err := c.cmdExpect("OPTS", "RETR Transport="+name+";", ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.Transport = tr
+	c.flushPools()
+	return nil
+}
+
+// SetProt sets the data channel protection level.
+func (c *Client) SetProt(p ProtLevel) error {
+	if _, err := c.cmdExpect("PBSZ", "0", ftp.CodeOK); err != nil {
+		return err
+	}
+	if _, err := c.cmdExpect("PROT", string(rune(p)), ftp.CodeOK); err != nil {
+		return err
+	}
+	c.spec.Prot = p
+	c.flushPools()
+	return nil
+}
+
+// SendDCSC installs a data channel security context on the server (§V):
+// the server will both present and accept the given credential on its
+// data channels. Works against the single DCSC-capable endpoint of a
+// transfer even when the other endpoint is a legacy server.
+func (c *Client) SendDCSC(cred *gsi.Credential) error {
+	blob, err := EncodeDCSCBlob(cred)
+	if err != nil {
+		return err
+	}
+	_, err = c.cmdExpect("DCSC", "P "+blob, ftp.CodeOK)
+	if err == nil {
+		c.flushPools()
+	}
+	return err
+}
+
+// ResetDCSC reverts the server's data channel security context ("DCSC D").
+func (c *Client) ResetDCSC() error {
+	_, err := c.cmdExpect("DCSC", "D", ftp.CodeOK)
+	if err == nil {
+		c.flushPools()
+	}
+	return err
+}
+
+// SetRestart arms restart ranges (bytes already transferred) for the next
+// transfer command.
+func (c *Client) SetRestart(ranges []Range) { c.restart = ranges }
+
+// OnMarker registers a callback receiving restart-marker updates during
+// transfers.
+func (c *Client) OnMarker(cb func([]Range)) { c.markerCB = cb }
+
+// dataContext is the security context for the client's own data channels
+// (nil for credential-less GridFTP-Lite sessions, whose data channels run
+// without DCAU).
+func (c *Client) dataContext() *SecurityContext {
+	if c.cred == nil {
+		return nil
+	}
+	return &SecurityContext{
+		Cred:           c.cred,
+		Trust:          c.trust,
+		ExpectIdentity: c.cred.Identity(),
+	}
+}
+
+// sendRestart transmits any armed restart ranges.
+func (c *Client) sendRestart() ([]Range, error) {
+	if len(c.restart) == 0 {
+		return nil, nil
+	}
+	ranges := c.restart
+	c.restart = nil
+	if _, err := c.cmdExpect("REST", FromRanges(ranges).Marker(), ftp.CodeNeedAccount); err != nil {
+		return nil, err
+	}
+	return ranges, nil
+}
+
+// passive puts the server in passive mode and returns the data address.
+func (c *Client) passive() (string, error) {
+	r, err := c.cmdExpect("PASV", "", ftp.CodeEnteringPassive)
+	if err != nil {
+		return "", err
+	}
+	open := strings.Index(r.Lines[0], "(")
+	closeIdx := strings.LastIndex(r.Lines[0], ")")
+	if open < 0 || closeIdx <= open {
+		return "", fmt.Errorf("gridftp: unparsable PASV reply %q", r.Lines[0])
+	}
+	return r.Lines[0][open+1 : closeIdx], nil
+}
+
+// spas puts the (striped) server in striped passive mode and returns all
+// data addresses.
+func (c *Client) spas() ([]string, error) {
+	r, err := c.cmdExpect("SPAS", "", ftp.CodeEnteringExtPasv)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Lines) < 3 {
+		return nil, fmt.Errorf("gridftp: unparsable SPAS reply %v", r.Lines)
+	}
+	return r.Lines[1 : len(r.Lines)-1], nil
+}
+
+// Passive exposes PASV/SPAS for third-party orchestration: it returns the
+// receiver's listening addresses (one per stripe).
+func (c *Client) Passive(striped bool) ([]string, error) {
+	if striped {
+		return c.spas()
+	}
+	addr, err := c.passive()
+	if err != nil {
+		return nil, err
+	}
+	return []string{addr}, nil
+}
+
+// Port sends the peer's data addresses to this (sender) server.
+func (c *Client) Port(addrs []string) error {
+	if len(addrs) == 1 {
+		_, err := c.cmdExpect("PORT", addrs[0], ftp.CodeOK)
+		return err
+	}
+	_, err := c.cmdExpect("SPOR", strings.Join(addrs, " "), ftp.CodeOK)
+	return err
+}
+
+// ensurePassive guarantees the server is listening for data connections.
+// It must run BEFORE the transfer command is sent: once the command is in
+// flight the server is busy with the transfer and cannot answer PASV.
+func (c *Client) ensurePassive() error {
+	if len(c.passiveAddrs) > 0 {
+		return nil
+	}
+	addr, err := c.passive()
+	if err != nil {
+		return err
+	}
+	// PASV resets the server's data state (it closes listeners and
+	// flushes both its channel pools), so mirror that here: any channels
+	// we still hold are now stale on the far end. Keeping the pools in
+	// lockstep is what makes channel caching safe.
+	c.flushPools()
+	c.passiveAddrs = []string{addr}
+	return nil
+}
+
+// dialData opens and secures n data connections to the server's passive
+// address(es), reusing the pool when possible. ensurePassive must have
+// succeeded earlier in the session.
+func (c *Client) dialData(n int) ([]*dataChannel, error) {
+	if len(c.pooledDialed) == n {
+		chans := c.pooledDialed
+		c.pooledDialed = nil
+		return chans, nil
+	}
+	closeChannels(c.pooledDialed)
+	c.pooledDialed = nil
+	if len(c.passiveAddrs) == 0 {
+		return nil, errors.New("gridftp: no passive address (ensurePassive not run)")
+	}
+	// Establish concurrently so N channels cost one connect+handshake RTT.
+	chans := make([]*dataChannel, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, err := c.host.DialTransport(c.passiveAddrs[i%len(c.passiveAddrs)], c.spec.Transport)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sec, err := secureData(raw, c.dataContext(), c.spec.DCAU, c.spec.Prot, false)
+			if err != nil {
+				raw.Close()
+				errs[i] = err
+				return
+			}
+			chans[i] = &dataChannel{raw: raw, sec: sec}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			closeChannels(compactChannels(chans))
+			return nil, err
+		}
+	}
+	return chans, nil
+}
+
+// ensureListener opens (once) the client-side data listener for
+// active-mode transfers and registers it with the server via PORT.
+func (c *Client) ensureListener() error {
+	c.lmu.Lock()
+	if c.dataListener == nil {
+		l, err := c.host.Listen(0)
+		if err != nil {
+			c.lmu.Unlock()
+			return err
+		}
+		c.dataListener = l
+		c.acceptCh = make(chan net.Conn, 64)
+		c.acceptErr = make(chan error, 1)
+		go func(conns chan net.Conn, errs chan error) {
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					errs <- err
+					return
+				}
+				select {
+				case conns <- conn:
+				default:
+					conn.Close()
+				}
+			}
+		}(c.acceptCh, c.acceptErr)
+	}
+	addr := c.dataListener.Addr().String()
+	c.lmu.Unlock()
+	if _, err := c.cmdExpect("PORT", addr, ftp.CodeOK); err != nil {
+		return err
+	}
+	// PORT, like PASV, resets the server's data state; drop our now-stale
+	// pools to stay in lockstep (see ensurePassive).
+	closeChannels(c.pooledAccepted)
+	closeChannels(c.pooledDialed)
+	c.pooledAccepted = nil
+	c.pooledDialed = nil
+	c.passiveAddrs = nil
+	return nil
+}
+
+// retire pools channels for reuse or closes them.
+func (c *Client) retire(chans []*dataChannel, ok bool) {
+	if !ok || c.spec.Mode != ModeExtended || c.cacheDisabled {
+		closeChannels(chans)
+		return
+	}
+	if len(chans) > 0 && chans[0].acceptor {
+		c.pooledAccepted = chans
+	} else {
+		c.pooledDialed = chans
+	}
+}
+
+// handleMarkers parses "111 Range Marker a-b,c-d" preliminary replies.
+func (c *Client) handleMarkers(r ftp.Reply) []Range {
+	if r.Code != ftp.CodeRestartMarker {
+		return nil
+	}
+	text := strings.TrimPrefix(r.Lines[0], "Range Marker")
+	ranges, err := ParseRanges(strings.TrimSpace(text))
+	if err != nil {
+		return nil
+	}
+	if c.markerCB != nil {
+		c.markerCB(ranges)
+	}
+	return ranges
+}
+
+// TransferStats reports what a transfer moved.
+type TransferStats struct {
+	Bytes    int64
+	Duration time.Duration
+	// Markers holds the last restart-marker ranges seen (PUT) or the
+	// locally received ranges (GET); on failure they seed a restart.
+	Markers []Range
+}
+
+// Put uploads src to the remote path (passive mode: the server listens,
+// this client connects and sends — the canonical GridFTP direction).
+func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
+	size, err := src.Size()
+	if err != nil {
+		return nil, err
+	}
+	restart, err := c.sendRestart()
+	if err != nil {
+		return nil, err
+	}
+	ranges := []Range{{0, size}}
+	if len(restart) > 0 {
+		ranges = FromRanges(restart).Missing(size)
+	}
+
+	start := time.Now()
+	var lastMarkers []Range
+	if c.spec.Mode == ModeStream {
+		c.flushPools()
+		if err := c.ensurePassive(); err != nil {
+			return nil, err
+		}
+		if err := c.ctrl.Cmd("STOR", "%s", path); err != nil {
+			return nil, err
+		}
+		chans, err := c.dialData(1)
+		if err != nil {
+			c.ctrl.ReadFinalReply(nil)
+			return nil, err
+		}
+		from := int64(0)
+		if len(restart) == 1 && restart[0].Start == 0 {
+			from = restart[0].End
+		}
+		sendErr := sendStream(chans[0].sec, src, from, size)
+		closeChannels(chans)
+		r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { lastMarkers = c.handleMarkers(p) })
+		if sendErr != nil {
+			return &TransferStats{Markers: lastMarkers}, sendErr
+		}
+		if rerr != nil {
+			return &TransferStats{Markers: lastMarkers}, rerr
+		}
+		if err := r.Err(); err != nil {
+			return &TransferStats{Markers: lastMarkers}, err
+		}
+		return &TransferStats{Bytes: size - totalLen(restart), Duration: time.Since(start), Markers: lastMarkers}, nil
+	}
+
+	if len(c.pooledDialed) != c.spec.Parallelism {
+		if err := c.ensurePassive(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.ctrl.Cmd("STOR", "%s", path); err != nil {
+		return nil, err
+	}
+	chans, err := c.dialData(c.spec.Parallelism)
+	if err != nil {
+		// The server is waiting for a transfer that will not happen; it
+		// will time out its accept and report 425/426.
+		c.ctrl.ReadFinalReply(nil)
+		return nil, err
+	}
+	sendErr := sendModeE(secConns(chans), src, ranges, c.spec.BlockSize)
+	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { lastMarkers = c.handleMarkers(p) })
+	switch {
+	case sendErr != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return &TransferStats{Markers: lastMarkers}, sendErr
+	case rerr != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return &TransferStats{Markers: lastMarkers}, rerr
+	case r.Err() != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return &TransferStats{Markers: lastMarkers}, r.Err()
+	}
+	c.retire(chans, true)
+	return &TransferStats{Bytes: totalLen(ranges), Duration: time.Since(start), Markers: lastMarkers}, nil
+}
+
+// Get downloads the remote path into dst. Active mode (default): this
+// client listens and the server — the sender — connects, the canonical
+// GridFTP arrangement.
+func (c *Client) Get(path string, dst dsi.File) (*TransferStats, error) {
+	restart, err := c.sendRestart()
+	if err != nil {
+		return nil, err
+	}
+	return c.retrieve("RETR", path, restart, dst)
+}
+
+// GetPartial retrieves length bytes starting at off via the ERET command;
+// the data lands at its original file offsets in dst.
+func (c *Client) GetPartial(path string, off, length int64, dst dsi.File) (*TransferStats, error) {
+	return c.retrieve("ERET", fmt.Sprintf("P %d %d %s", off, length, path), nil, dst)
+}
+
+func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*TransferStats, error) {
+	start := time.Now()
+
+	if c.spec.Mode == ModeStream {
+		if err := c.ensureListener(); err != nil {
+			return nil, err
+		}
+		if err := c.ctrl.Cmd(verb, "%s", params); err != nil {
+			return nil, err
+		}
+		raw, err := c.acceptOne()
+		if err != nil {
+			c.ctrl.ReadFinalReply(nil)
+			return nil, err
+		}
+		sec, err := secureData(raw, c.dataContext(), c.spec.DCAU, c.spec.Prot, true)
+		if err != nil {
+			raw.Close()
+			c.ctrl.ReadFinalReply(nil)
+			return nil, err
+		}
+		offset := int64(0)
+		if len(restart) == 1 && restart[0].Start == 0 {
+			offset = restart[0].End
+		}
+		n, recvErr := recvStream(sec, dst, offset)
+		raw.Close()
+		r, rerr := c.ctrl.ReadFinalReply(nil)
+		if recvErr != nil {
+			return nil, recvErr
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return &TransferStats{Bytes: n, Duration: time.Since(start)}, nil
+	}
+
+	// MODE E active: pooled channels first, fresh ones off our listener.
+	if len(c.pooledAccepted) == 0 {
+		if err := c.ensureListener(); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.ctrl.Cmd(verb, "%s", params); err != nil {
+		return nil, err
+	}
+
+	received := FromRanges(restart)
+	res, r, rerr := c.recvWithReplies(dst, received)
+	markers := res.Received.Ranges()
+	if c.markerCB != nil && res.Received.Covered() > 0 {
+		c.markerCB(markers)
+	}
+	switch {
+	case rerr != nil:
+		return &TransferStats{Markers: markers}, rerr
+	case r.Err() != nil:
+		// The server's error reply names the root cause; a concurrent
+		// receive cancellation is just its consequence.
+		return &TransferStats{Markers: markers}, r.Err()
+	case res.Err != nil:
+		return &TransferStats{Markers: markers}, res.Err
+	}
+	return &TransferStats{
+		Bytes:    res.Received.Covered() - totalLen(restart),
+		Duration: time.Since(start),
+		Markers:  markers,
+	}, nil
+}
+
+// recvWithReplies runs one MODE E receive (pooled channels first, fresh
+// ones off the client listener) while concurrently reading control-channel
+// replies, so a refusal (e.g. 530 before any data connection exists)
+// cancels the receive instead of timing it out. It retires channels into
+// the pool on success and flushes them on any failure.
+func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, ftp.Reply, error) {
+	pooled := c.pooledAccepted
+	c.pooledAccepted = nil
+	var fresh []*dataChannel
+	var freshMu sync.Mutex
+	sealed := false
+	pi := 0
+	securedAccept := parallelSecureAccept(c.acceptOneStop, c.dataContext(),
+		c.spec.DCAU, c.spec.Prot, func(ch *dataChannel) {
+			freshMu.Lock()
+			if sealed {
+				freshMu.Unlock()
+				ch.close()
+				return
+			}
+			fresh = append(fresh, ch)
+			freshMu.Unlock()
+		})
+	accept := func(stop <-chan struct{}) (net.Conn, error) {
+		if pi < len(pooled) {
+			ch := pooled[pi]
+			pi++
+			return ch.sec, nil
+		}
+		return securedAccept(stop)
+	}
+	type finalReply struct {
+		r   ftp.Reply
+		err error
+	}
+	replyCh := make(chan finalReply, 1)
+	go func() {
+		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handleMarkers(p) })
+		replyCh <- finalReply{r, err}
+	}()
+	cancel := make(chan struct{})
+	resCh := make(chan recvResult, 1)
+	go func() { resCh <- recvModeE(accept, dst, received, nil, cancel) }()
+
+	var res recvResult
+	var fin finalReply
+	select {
+	case res = <-resCh:
+		fin = <-replyCh
+	case fin = <-replyCh:
+		if fin.err != nil || fin.r.Err() != nil {
+			close(cancel)
+		}
+		res = <-resCh
+	}
+	// Any pooled channels the sender declined to reuse are stale.
+	for _, ch := range pooled[pi:] {
+		ch.close()
+	}
+	freshMu.Lock()
+	sealed = true
+	all := append(pooled[:pi:pi], fresh...)
+	freshMu.Unlock()
+	if fin.err != nil || fin.r.Err() != nil || res.Err != nil {
+		closeChannels(all)
+		c.flushPools()
+	} else {
+		c.retire(all, true)
+	}
+	return res, fin.r, fin.err
+}
+
+func (c *Client) acceptOne() (net.Conn, error) {
+	return c.acceptOneStop(nil)
+}
+
+func (c *Client) acceptOneStop(stop <-chan struct{}) (net.Conn, error) {
+	c.lmu.Lock()
+	l, conns, errs := c.dataListener, c.acceptCh, c.acceptErr
+	c.lmu.Unlock()
+	if l == nil {
+		return nil, errors.New("gridftp: no data listener")
+	}
+	if stop == nil {
+		stop = make(chan struct{})
+	}
+	t := time.NewTimer(30 * time.Second)
+	defer t.Stop()
+	select {
+	case conn := <-conns:
+		return conn, nil
+	case err := <-errs:
+		return nil, err
+	case <-stop:
+		return nil, errors.New("gridftp: transfer concluded")
+	case <-t.C:
+		return nil, errors.New("gridftp: timed out waiting for data connection")
+	}
+}
+
+// --- Simple file operations ---
+
+// Size returns the remote file size.
+func (c *Client) Size(path string) (int64, error) {
+	r, err := c.cmdExpect("SIZE", path, ftp.CodeFileStatus)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if _, err := fmt.Sscanf(r.Lines[0], "%d", &n); err != nil {
+		return 0, fmt.Errorf("gridftp: bad SIZE reply %q", r.Lines[0])
+	}
+	return n, nil
+}
+
+// Mkdir creates a remote directory.
+func (c *Client) Mkdir(path string) error {
+	_, err := c.cmdExpect("MKD", path, ftp.CodePathCreated)
+	return err
+}
+
+// Delete removes a remote file or empty directory.
+func (c *Client) Delete(path string) error {
+	_, err := c.cmdExpect("DELE", path, ftp.CodeFileActionOK)
+	return err
+}
+
+// Rename moves a remote file.
+func (c *Client) Rename(from, to string) error {
+	if _, err := c.cmdExpect("RNFR", from, ftp.CodeNeedAccount); err != nil {
+		return err
+	}
+	_, err := c.cmdExpect("RNTO", to, ftp.CodeFileActionOK)
+	return err
+}
+
+// Chdir changes the remote working directory.
+func (c *Client) Chdir(path string) error {
+	_, err := c.cmdExpect("CWD", path, ftp.CodeFileActionOK)
+	return err
+}
+
+// Noop pings the server.
+func (c *Client) Noop() error {
+	_, err := c.cmdExpect("NOOP", "", ftp.CodeOK)
+	return err
+}
+
+// Stat runs MLST and returns the facts line for one path.
+func (c *Client) Stat(path string) (string, error) {
+	r, err := c.cmdExpect("MLST", path, ftp.CodeFileActionOK)
+	if err != nil {
+		return "", err
+	}
+	if len(r.Lines) < 2 {
+		return "", fmt.Errorf("gridftp: bad MLST reply %v", r.Lines)
+	}
+	return strings.TrimSpace(r.Lines[1]), nil
+}
+
+// List runs MLSD over a fresh data channel and returns the entry lines.
+func (c *Client) List(path string) ([]string, error) {
+	c.flushPools()
+	if err := c.ensurePassive(); err != nil {
+		return nil, err
+	}
+	if err := c.ctrl.Cmd("MLSD", "%s", path); err != nil {
+		return nil, err
+	}
+	chans, err := c.dialData(1)
+	if err != nil {
+		c.ctrl.ReadFinalReply(nil)
+		return nil, err
+	}
+	var listing []byte
+	buf := make([]byte, 32*1024)
+	for {
+		n, rerr := chans[0].sec.Read(buf)
+		listing = append(listing, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	closeChannels(chans)
+	r, err := c.ctrl.ReadFinalReply(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, line := range strings.Split(string(listing), "\r\n") {
+		if strings.TrimSpace(line) != "" {
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
+
+// Parallelism returns the current negotiated parallelism.
+func (c *Client) Parallelism() int { return c.spec.Parallelism }
+
+// Mode returns the current transfer mode.
+func (c *Client) Mode() TransferMode { return c.spec.Mode }

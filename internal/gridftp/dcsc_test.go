@@ -1,0 +1,234 @@
+package gridftp
+
+import (
+	"bytes"
+	"crypto/x509"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// crossDomain builds the paper's Fig 4 scenario: two sites with disjoint
+// CAs, one user holding a credential from each, and a client connected to
+// both with the matching credential (which is possible because the control
+// channels are independent). Only the *data* channel between the two
+// servers is at issue.
+type crossDomain struct {
+	nw      *netsim.Network
+	siteA   *site // source
+	siteB   *site // destination
+	clientA *Client
+	clientB *Client
+	credA   *gsi.Credential // user credential issued by site A's CA
+	credB   *gsi.Credential
+}
+
+func newCrossDomain(t *testing.T) *crossDomain {
+	t.Helper()
+	nw := netsim.NewNetwork()
+	a := newSite(t, nw, "siteA")
+	b := newSite(t, nw, "siteB")
+	laptop := nw.Host("laptop")
+	ca := a.connect(t, laptop, true) // delegates cred A to site A
+	cb := b.connect(t, laptop, true) // delegates cred B to site B
+	return &crossDomain{nw: nw, siteA: a, siteB: b, clientA: ca, clientB: cb, credA: a.user, credB: b.user}
+}
+
+func TestThirdPartySameCA(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s1 := newSite(t, nw, "siteA")
+	// Second server in the SAME trust domain: same CA, same user.
+	host2 := nw.Host("siteA2")
+	hostCred2, err := s1.ca.Issue(gsi.IssueOptions{Subject: "/O=Grid/OU=siteA/CN=host-siteA2", Lifetime: time.Hour, Host: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage2 := dsi.NewMemStorage()
+	storage2.AddUser("alice")
+	srv2, err := NewServer(host2, ServerConfig{
+		HostCred: hostCred2, Trust: s1.trust, Authz: s1.gridmap, Storage: storage2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2, _ := srv2.ListenAndServe(DefaultPort)
+	defer srv2.Close()
+
+	laptop := nw.Host("laptop")
+	c1 := s1.connect(t, laptop, true)
+	proxy, _ := gsi.NewProxy(s1.user, gsi.ProxyOptions{})
+	c2, err := Dial(laptop, addr2.String(), proxy, s1.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := c2.Delegate(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := pattern(500000)
+	s1.putFile(t, "/src.bin", payload)
+	if _, err := ThirdParty(c1, "/src.bin", c2, "/dst.bin", ThirdPartyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := storage2.Open("alice", "/dst.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dsi.ReadAll(f)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("third-party content mismatch")
+	}
+}
+
+func TestThirdPartyCrossCAFailsWithoutDCSC(t *testing.T) {
+	// Fig 4: endpoint B cannot validate credential A (CA-A unknown to B)
+	// and vice versa, so conventional DCAU must fail.
+	cd := newCrossDomain(t)
+	cd.siteA.putFile(t, "/src.bin", pattern(10000))
+	_, err := ThirdParty(cd.clientA, "/src.bin", cd.clientB, "/dst.bin", ThirdPartyOptions{})
+	if err == nil {
+		t.Fatal("cross-CA third-party transfer should fail without DCSC")
+	}
+}
+
+func TestThirdPartyCrossCADCSCDest(t *testing.T) {
+	// Fig 5: pass credential A to site B via DCSC; B then presents (and
+	// accepts) credential A on the data channel. Site A — which may be a
+	// legacy server that knows nothing about DCSC — just sees the
+	// credential it already trusts.
+	cd := newCrossDomain(t)
+	payload := pattern(300000)
+	cd.siteA.putFile(t, "/src.bin", payload)
+
+	// The DCSC blob carries cred A *with its chain including the CA-A
+	// root* so site B can validate what site A presents.
+	dcscCred := credWithRoot(t, cd.credA, cd.siteA.ca)
+	res, err := ThirdParty(cd.clientA, "/src.bin", cd.clientB, "/dst.bin", ThirdPartyOptions{
+		DCSC:       dcscCred,
+		DCSCTarget: DCSCDest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no duration recorded")
+	}
+	if got := cd.siteB.readFile(t, "/dst.bin"); !bytes.Equal(got, payload) {
+		t.Fatal("content mismatch after DCSC transfer")
+	}
+}
+
+func TestThirdPartyCrossCADCSCSelfSignedBoth(t *testing.T) {
+	// §V: "If both servers support DCSC, clients that desire higher
+	// security may specify a random, self-signed certificate as the DCAU
+	// context."
+	cd := newCrossDomain(t)
+	payload := pattern(200000)
+	cd.siteA.putFile(t, "/src.bin", payload)
+	random, err := gsi.SelfSignedCredential("/CN=dcsc-ephemeral", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ThirdParty(cd.clientA, "/src.bin", cd.clientB, "/dst.bin", ThirdPartyOptions{
+		DCSC:       random,
+		DCSCTarget: DCSCBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cd.siteB.readFile(t, "/dst.bin"); !bytes.Equal(got, payload) {
+		t.Fatal("content mismatch")
+	}
+}
+
+func TestDCSCDefaultRevertsContext(t *testing.T) {
+	cd := newCrossDomain(t)
+	payload := pattern(50000)
+	cd.siteA.putFile(t, "/src.bin", payload)
+	dcscCred := credWithRoot(t, cd.credA, cd.siteA.ca)
+
+	// Install then revert: the transfer must fail again.
+	if err := cd.clientB.SendDCSC(dcscCred); err != nil {
+		t.Fatal(err)
+	}
+	if err := cd.clientB.ResetDCSC(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThirdParty(cd.clientA, "/src.bin", cd.clientB, "/dst2.bin", ThirdPartyOptions{}); err == nil {
+		t.Fatal("DCSC D should have reverted to the failing default context")
+	}
+
+	// Reinstall: works again (and DCSC P overrides any previous request).
+	if _, err := ThirdParty(cd.clientA, "/src.bin", cd.clientB, "/dst3.bin", ThirdPartyOptions{
+		DCSC: dcscCred, DCSCTarget: DCSCDest,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSCRejectsGarbageBlobs(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), false)
+	for _, params := range []string{
+		"P not-base64!!!",
+		"P aGVsbG8=", // valid base64, not a PEM credential
+		"X abc",      // unknown context type
+		"P",          // missing blob
+	} {
+		if _, err := c.cmdExpect("DCSC", params, 200); err == nil {
+			t.Errorf("DCSC %q accepted", params)
+		}
+	}
+	// DCSC D always succeeds.
+	if _, err := c.cmdExpect("DCSC", "D", 200); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDCSCBlobRoundTrip(t *testing.T) {
+	ca, _ := gsi.NewCA("/O=Grid/CN=CA", time.Hour)
+	user, _ := ca.Issue(gsi.IssueOptions{Subject: "/O=Grid/CN=u", Lifetime: time.Hour})
+	blob, err := EncodeDCSCBlob(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !printableASCII(blob) {
+		t.Fatal("DCSC blob must be printable ASCII")
+	}
+	defaults := gsi.NewTrustStore()
+	ctx, err := DecodeDCSCBlob(blob, defaults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Cred.DN() != user.DN() {
+		t.Fatalf("decoded DN %q", ctx.Cred.DN())
+	}
+	// The CA root in the chain is self-signed => becomes a trust anchor.
+	if _, err := ctx.Trust.Verify(user.FullChain(), time.Now()); err != nil {
+		t.Fatalf("blob-supplied CA not trusted: %v", err)
+	}
+	// The defaults store must be untouched (overlay semantics).
+	if _, err := defaults.Verify(user.FullChain(), time.Now()); err == nil {
+		t.Fatal("DCSC overlay leaked into default trust store")
+	}
+}
+
+// credWithRoot returns a copy of cred whose chain includes the CA root
+// (required inside DCSC blobs so the receiving endpoint gains the anchor).
+func credWithRoot(t *testing.T, cred *gsi.Credential, ca *gsi.CA) *gsi.Credential {
+	t.Helper()
+	// site user credentials already carry the CA cert in their chain.
+	for _, c := range cred.Chain {
+		if gsi.CertDN(c) == ca.DN() {
+			return cred
+		}
+	}
+	cp := *cred
+	cp.Chain = append(append([]*x509.Certificate{}, cred.Chain...), ca.Certificate())
+	return &cp
+}

@@ -1,0 +1,364 @@
+package gridftp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// TransferMode selects the data channel mode.
+type TransferMode byte
+
+const (
+	// ModeStream is classic RFC 959 stream mode: one connection, EOF by
+	// close. No restart markers, no parallelism.
+	ModeStream TransferMode = 'S'
+	// ModeExtended is GridFTP MODE E: framed blocks with offsets, enabling
+	// parallel streams, striping, out-of-order delivery, and restart.
+	ModeExtended TransferMode = 'E'
+)
+
+// ChannelSpec captures the data channel parameters negotiated on the
+// control channel.
+type ChannelSpec struct {
+	Mode        TransferMode
+	Parallelism int
+	BlockSize   int
+	DCAU        DCAUMode
+	Prot        ProtLevel
+	// Transport selects the data channel transport protocol (TCP or a
+	// rate-based UDT profile), reached through the XIO layer (§II.A [9]).
+	Transport netsim.Transport
+	// MarkerInterval is how often the receiving side reports restart
+	// markers; zero disables them.
+	MarkerInterval time.Duration
+}
+
+// Normalize fills defaults.
+func (s ChannelSpec) Normalize() ChannelSpec {
+	if s.Mode == 0 {
+		s.Mode = ModeStream
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = 1
+	}
+	if s.Mode == ModeStream {
+		s.Parallelism = 1
+	}
+	if s.BlockSize <= 0 {
+		s.BlockSize = DefaultBlockSize
+	}
+	if s.DCAU == 0 {
+		s.DCAU = DCAUSelf
+	}
+	if s.Prot == 0 {
+		s.Prot = ProtClear
+	}
+	return s
+}
+
+// sendModeE streams the given file ranges over the (already secured)
+// connections as MODE E blocks. Connection 0 additionally carries the EOF
+// block announcing how many EODs the receiver should expect.
+func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int) error {
+	if len(conns) == 0 {
+		return errors.New("gridftp: no data connections")
+	}
+	type job struct {
+		off int64
+		n   int
+	}
+	jobs := make(chan job, len(conns)*2)
+	go func() {
+		defer close(jobs)
+		for _, r := range ranges {
+			for off := r.Start; off < r.End; off += int64(blockSize) {
+				n := int64(blockSize)
+				if off+n > r.End {
+					n = r.End - off
+				}
+				jobs <- job{off, int(n)}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(conns))
+	for i, conn := range conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			buf := make([]byte, blockSize)
+			if i == 0 {
+				eof := &Block{Desc: DescEOF, Offset: uint64(len(conns))}
+				if err := WriteBlock(conn, eof); err != nil {
+					errCh <- fmt.Errorf("gridftp: send EOF block: %w", err)
+					return
+				}
+			}
+			for j := range jobs {
+				data := buf[:j.n]
+				if _, err := f.ReadAt(data, j.off); err != nil && err != io.EOF {
+					errCh <- fmt.Errorf("gridftp: read at %d: %w", j.off, err)
+					return
+				}
+				b := &Block{Desc: DescRestartable, Count: uint64(j.n), Offset: uint64(j.off), Data: data}
+				if err := WriteBlock(conn, b); err != nil {
+					errCh <- fmt.Errorf("gridftp: send block at %d: %w", j.off, err)
+					return
+				}
+			}
+			if err := WriteBlock(conn, &Block{Desc: DescEOD}); err != nil {
+				errCh <- fmt.Errorf("gridftp: send EOD: %w", err)
+			}
+		}(i, conn)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// recvResult reports what a receive attempt accomplished; Received is
+// meaningful even on error (it seeds restart markers).
+type recvResult struct {
+	Received *RangeSet
+	Err      error
+}
+
+// recvModeE accepts data connections from accept and reassembles blocks
+// into f. It stops accepting once the EOF block announces the stream
+// count; the stop channel passed to accept closes when the transfer has
+// concluded so a blocked accept can bail out. onProgress, if non-nil, is
+// invoked whenever new data lands (the marker emitter samples it). A close
+// of cancel (may be nil) aborts the receive — used when the control
+// channel reports failure before or during the transfer.
+func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, existing *RangeSet, onProgress func(), cancel <-chan struct{}) recvResult {
+	received := existing
+	if received == nil {
+		received = NewRangeSet()
+	}
+	var (
+		mu       sync.Mutex
+		expected = -1 // total streams, learned from the EOF block
+		accepted = 0
+		eods     = 0
+		finished bool
+		firstErr error
+	)
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() {
+		closeOnce.Do(func() {
+			mu.Lock()
+			finished = true
+			mu.Unlock()
+			close(done)
+		})
+	}
+
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		finish()
+	}
+
+	var activeConns []net.Conn // guarded by mu; closed on cancel
+	if cancel != nil {
+		go func() {
+			select {
+			case <-cancel:
+				setErr(errors.New("gridftp: transfer canceled by control channel"))
+				// Unblock handlers stuck reading connections the sender
+				// will never use.
+				mu.Lock()
+				conns := append([]net.Conn(nil), activeConns...)
+				mu.Unlock()
+				for _, c := range conns {
+					c.Close()
+				}
+			case <-done:
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	handle := func(conn net.Conn) {
+		defer wg.Done()
+		// Backstop: the first block must arrive within a bounded window,
+		// so a silent channel (peer gone, protocol desync) cannot park
+		// this handler — and with it the whole transfer — forever.
+		type deadliner interface{ SetReadDeadline(time.Time) error }
+		dl, hasDeadline := conn.(deadliner)
+		if hasDeadline {
+			dl.SetReadDeadline(time.Now().Add(60 * time.Second))
+		}
+		first := true
+		var buf []byte
+		for {
+			b, nbuf, err := ReadBlock(conn, buf)
+			buf = nbuf
+			if err == nil && first && hasDeadline {
+				dl.SetReadDeadline(time.Time{})
+				first = false
+			}
+			if err != nil {
+				setErr(fmt.Errorf("gridftp: data connection lost: %w", err))
+				return
+			}
+			if b.EOF() {
+				mu.Lock()
+				expected = int(b.Offset)
+				doneNow := eods == expected
+				mu.Unlock()
+				if doneNow {
+					finish()
+				}
+			}
+			if b.Count > 0 {
+				if _, err := f.WriteAt(b.Data, int64(b.Offset)); err != nil {
+					setErr(fmt.Errorf("gridftp: write at %d: %w", b.Offset, err))
+					return
+				}
+				received.Add(int64(b.Offset), int64(b.Offset)+int64(b.Count))
+				if onProgress != nil {
+					onProgress()
+				}
+			}
+			if b.EOD() {
+				mu.Lock()
+				eods++
+				doneNow := expected >= 0 && eods == expected
+				mu.Unlock()
+				if doneNow {
+					finish()
+				}
+				return
+			}
+		}
+	}
+
+	// Acceptor: pull connections until we know the expected stream count
+	// and have accepted that many, or an error/finish occurs.
+	go func() {
+		for {
+			mu.Lock()
+			enough := finished || (expected >= 0 && accepted >= expected)
+			mu.Unlock()
+			if enough {
+				return
+			}
+			conn, err := accept(done)
+			if err != nil {
+				mu.Lock()
+				fin := finished
+				mu.Unlock()
+				if !fin {
+					// A bail-out after the transfer concluded is benign.
+					setErr(fmt.Errorf("gridftp: accept data connection: %w", err))
+				}
+				return
+			}
+			mu.Lock()
+			if finished {
+				// Transfer already concluded; a late connection is spurious.
+				mu.Unlock()
+				return
+			}
+			accepted++
+			activeConns = append(activeConns, conn)
+			wg.Add(1)
+			mu.Unlock()
+			go handle(conn)
+		}
+	}()
+
+	<-done
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	return recvResult{Received: received, Err: firstErr}
+}
+
+// sendStream writes the file range [offset, size) as a raw byte stream and
+// half-closes the connection to signal EOF.
+func sendStream(conn net.Conn, f dsi.File, offset, size int64) error {
+	buf := make([]byte, 128*1024)
+	for off := offset; off < size; {
+		n := int64(len(buf))
+		if off+n > size {
+			n = size - off
+		}
+		if _, err := f.ReadAt(buf[:n], off); err != nil && err != io.EOF {
+			return err
+		}
+		if _, err := conn.Write(buf[:n]); err != nil {
+			return err
+		}
+		off += n
+	}
+	if hc, ok := conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return nil
+}
+
+// recvStream reads a raw byte stream into f starting at offset until EOF.
+func recvStream(conn net.Conn, f dsi.File, offset int64) (int64, error) {
+	buf := make([]byte, 128*1024)
+	var total int64
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			if _, werr := f.WriteAt(buf[:n], offset+total); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// markerEmitter periodically renders the received range set through emit
+// until stop is closed. It emits a final marker before returning so the
+// last state is always reported.
+func markerEmitter(set *RangeSet, interval time.Duration, emit func(marker string), stop <-chan struct{}) {
+	if interval <= 0 {
+		<-stop
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	last := ""
+	for {
+		select {
+		case <-t.C:
+			if m := set.Marker(); m != "" && m != last {
+				emit(m)
+				last = m
+			}
+		case <-stop:
+			if m := set.Marker(); m != "" && m != last {
+				emit(m)
+			}
+			return
+		}
+	}
+}

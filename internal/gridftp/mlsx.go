@@ -1,0 +1,107 @@
+package gridftp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MlsxEntry is one parsed MLSD/MLST fact line.
+type MlsxEntry struct {
+	Name  string
+	Size  int64
+	IsDir bool
+}
+
+// ParseMlsxLine parses a "Type=file;Size=123;Modify=...; name" fact line
+// as produced by this server's MLSD/MLST.
+func ParseMlsxLine(line string) (MlsxEntry, error) {
+	facts, name, ok := strings.Cut(line, " ")
+	if !ok || name == "" {
+		return MlsxEntry{}, fmt.Errorf("gridftp: malformed MLSx line %q", line)
+	}
+	e := MlsxEntry{Name: name}
+	sawType := false
+	for _, f := range strings.Split(strings.TrimSuffix(facts, ";"), ";") {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch strings.ToLower(k) {
+		case "type":
+			sawType = true
+			e.IsDir = strings.EqualFold(v, "dir")
+		case "size":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return MlsxEntry{}, fmt.Errorf("gridftp: bad Size in %q", line)
+			}
+			e.Size = n
+		}
+	}
+	if !sawType {
+		return MlsxEntry{}, fmt.Errorf("gridftp: MLSx line %q missing Type fact", line)
+	}
+	return e, nil
+}
+
+// ListEntries runs MLSD and returns parsed entries.
+func (c *Client) ListEntries(path string) ([]MlsxEntry, error) {
+	lines, err := c.List(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MlsxEntry, 0, len(lines))
+	for _, line := range lines {
+		e, err := ParseMlsxLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// StatEntry runs MLST and returns the parsed entry.
+func (c *Client) StatEntry(path string) (MlsxEntry, error) {
+	line, err := c.Stat(path)
+	if err != nil {
+		return MlsxEntry{}, err
+	}
+	return ParseMlsxLine(line)
+}
+
+// Walk lists path recursively, returning slash-joined paths relative to
+// path for every regular file (directories are traversed, not returned).
+func (c *Client) Walk(path string) ([]string, error) {
+	var files []string
+	var walk func(rel string) error
+	walk = func(rel string) error {
+		full := strings.TrimSuffix(path, "/")
+		if rel != "" {
+			full += "/" + rel
+		}
+		entries, err := c.ListEntries(full)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			childRel := e.Name
+			if rel != "" {
+				childRel = rel + "/" + e.Name
+			}
+			if e.IsDir {
+				if err := walk(childRel); err != nil {
+					return err
+				}
+			} else {
+				files = append(files, childRel)
+			}
+		}
+		return nil
+	}
+	if err := walk(""); err != nil {
+		return nil, err
+	}
+	return files, nil
+}

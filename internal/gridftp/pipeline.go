@@ -1,0 +1,130 @@
+package gridftp
+
+import (
+	"fmt"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/ftp"
+)
+
+// Command pipelining (§II.A [11] of the paper): for lots-of-small-files
+// workloads the per-file command/reply round trips dominate, so the client
+// sends all transfer commands back-to-back and processes the data flows
+// and replies in order. Combined with data channel caching this removes
+// every per-file RTT except the data itself.
+
+// GetItem pairs a remote path with its local destination.
+type GetItem struct {
+	Path string
+	Dst  dsi.File
+}
+
+// PutItem pairs a local source with its remote path.
+type PutItem struct {
+	Path string
+	Src  dsi.File
+}
+
+// GetMany downloads the items over one session with pipelined RETR
+// commands (active mode). It stops at the first failure.
+func (c *Client) GetMany(items []GetItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if c.spec.Mode != ModeExtended {
+		return fmt.Errorf("gridftp: pipelining requires MODE E")
+	}
+	if len(c.pooledAccepted) == 0 {
+		if err := c.ensureListener(); err != nil {
+			return err
+		}
+	}
+	// Pipeline: all commands at once.
+	for _, it := range items {
+		if err := c.ctrl.Cmd("RETR", "%s", it.Path); err != nil {
+			return err
+		}
+	}
+	// Then drain the transfers in order.
+	for i, it := range items {
+		if err := c.recvOne(it.Dst); err != nil {
+			return fmt.Errorf("gridftp: pipelined get %d (%s): %w", i, it.Path, err)
+		}
+	}
+	return nil
+}
+
+// recvOne receives one MODE E transfer using pooled or fresh channels and
+// consumes its final reply (canceling the receive if the reply reports an
+// error, e.g. a 550 for a missing file mid-pipeline).
+func (c *Client) recvOne(dst dsi.File) error {
+	res, r, rerr := c.recvWithReplies(dst, NewRangeSet())
+	switch {
+	case rerr != nil:
+		return rerr
+	case r.Err() != nil:
+		return r.Err()
+	case res.Err != nil:
+		return res.Err
+	}
+	return nil
+}
+
+// PutMany uploads the items over one session with pipelined STOR commands
+// (passive mode). It stops at the first failure.
+func (c *Client) PutMany(items []PutItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if c.spec.Mode != ModeExtended {
+		return fmt.Errorf("gridftp: pipelining requires MODE E")
+	}
+	if len(c.pooledDialed) != c.spec.Parallelism {
+		if err := c.ensurePassive(); err != nil {
+			return err
+		}
+	}
+	for _, it := range items {
+		if err := c.ctrl.Cmd("STOR", "%s", it.Path); err != nil {
+			return err
+		}
+	}
+	for i, it := range items {
+		if err := c.sendOne(it.Src); err != nil {
+			return fmt.Errorf("gridftp: pipelined put %d (%s): %w", i, it.Path, err)
+		}
+	}
+	return nil
+}
+
+// sendOne sends one MODE E transfer over pooled or fresh channels and
+// consumes its final reply.
+func (c *Client) sendOne(src dsi.File) error {
+	size, err := src.Size()
+	if err != nil {
+		return err
+	}
+	chans, err := c.dialData(c.spec.Parallelism)
+	if err != nil {
+		c.ctrl.ReadFinalReply(nil)
+		return err
+	}
+	sendErr := sendModeE(secConns(chans), src, []Range{{0, size}}, c.spec.BlockSize)
+	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handleMarkers(p) })
+	switch {
+	case sendErr != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return sendErr
+	case rerr != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return rerr
+	case r.Err() != nil:
+		closeChannels(chans)
+		c.flushPools()
+		return r.Err()
+	}
+	c.retire(chans, true)
+	return nil
+}

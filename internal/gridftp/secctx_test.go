@@ -1,0 +1,191 @@
+package gridftp
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+func integrityPair() (net.Conn, net.Conn) {
+	a, b := net.Pipe()
+	var key [32]byte
+	copy(key[:], "0123456789abcdef0123456789abcdef")
+	return newIntegrityConn(a, key), newIntegrityConn(b, key)
+}
+
+func TestIntegrityConnRoundTrip(t *testing.T) {
+	ca, cb := integrityPair()
+	payload := pattern(300000)
+	go func() {
+		ca.Write(payload)
+	}()
+	got := make([]byte, len(payload))
+	if _, err := io.ReadFull(cb, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("integrity round trip mismatch")
+	}
+}
+
+func TestIntegrityConnDetectsTampering(t *testing.T) {
+	raw1, raw2 := net.Pipe()
+	var key [32]byte
+	ic := newIntegrityConn(raw2, key)
+	// Handcraft a frame with a bad tag.
+	go func() {
+		frame := []byte{0, 0, 0, 4, 'e', 'v', 'i', 'l'}
+		tag := make([]byte, integrityTagLen) // zero tag, definitely wrong
+		raw1.Write(append(frame, tag...))
+	}()
+	buf := make([]byte, 4)
+	if _, err := ic.Read(buf); err == nil {
+		t.Fatal("tampered frame accepted")
+	}
+}
+
+func TestIntegrityConnDetectsReordering(t *testing.T) {
+	// Two frames written with sequence 0 and 1; replaying frame 0 twice
+	// (a reorder/replay) must fail the second verification.
+	a, b := net.Pipe()
+	var key [32]byte
+	w := newIntegrityConn(a, key)
+	r := newIntegrityConn(b, key)
+	done := make(chan []byte, 1)
+	go func() {
+		// Capture the wire form of one frame by writing through a recorder.
+		rec := &recorderConn{Conn: a}
+		w.Conn = rec
+		w.Write([]byte("hello"))
+		done <- rec.buf.Bytes()
+	}()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	wire := <-done
+	// Replay the identical bytes: the receiver's sequence is now 1, so
+	// the tag (computed for seq 0) must not verify.
+	go func() { b2 := wire; a.Write(b2) }()
+	if _, err := io.ReadFull(r, buf); err == nil {
+		t.Fatal("replayed frame accepted")
+	}
+}
+
+type recorderConn struct {
+	net.Conn
+	buf bytes.Buffer
+}
+
+func (r *recorderConn) Write(p []byte) (int, error) {
+	r.buf.Write(p)
+	return r.Conn.Write(p)
+}
+
+func TestIntegrityConnPropertyRoundTrip(t *testing.T) {
+	f := func(chunks [][]byte) bool {
+		var want []byte
+		for _, c := range chunks {
+			want = append(want, c...)
+		}
+		ca, cb := integrityPair()
+		go func() {
+			for _, c := range chunks {
+				if len(c) > 0 {
+					ca.Write(c)
+				}
+			}
+		}()
+		got := make([]byte, len(want))
+		if len(want) > 0 {
+			if _, err := io.ReadFull(cb, got); err != nil {
+				return false
+			}
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMlsxParse(t *testing.T) {
+	e, err := ParseMlsxLine("Type=file;Size=123;Modify=20120201120000; data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name != "data.bin" || e.Size != 123 || e.IsDir {
+		t.Fatalf("%+v", e)
+	}
+	d, err := ParseMlsxLine("Type=dir;Size=0;Modify=20120201120000; subdir with spaces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsDir || d.Name != "subdir with spaces" {
+		t.Fatalf("%+v", d)
+	}
+	for _, bad := range []string{"", "nofacts", "Type=file;Size=x; f", "Size=1; noType"} {
+		if _, err := ParseMlsxLine(bad); err == nil {
+			t.Errorf("ParseMlsxLine(%q) should fail", bad)
+		}
+	}
+}
+
+func TestClientWalk(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	s.storage.Mkdir("alice", "/tree")
+	s.storage.Mkdir("alice", "/tree/a")
+	s.storage.Mkdir("alice", "/tree/a/b")
+	s.putFile(t, "/tree/top.txt", []byte("1"))
+	s.putFile(t, "/tree/a/mid.txt", []byte("2"))
+	s.putFile(t, "/tree/a/b/leaf.txt", []byte("3"))
+	files, err := c.Walk("/tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"top.txt": true, "a/mid.txt": true, "a/b/leaf.txt": true}
+	if len(files) != len(want) {
+		t.Fatalf("walk %v", files)
+	}
+	for _, f := range files {
+		if !want[f] {
+			t.Fatalf("unexpected walk entry %q in %v", f, files)
+		}
+	}
+}
+
+func TestSecureDataRejectsProtWithoutDCAU(t *testing.T) {
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("s", 1)
+	defer l.Close()
+	go l.Accept()
+	conn, _ := nw.Dial("c", "s:1")
+	defer conn.Close()
+	if _, err := secureData(conn, nil, DCAUNone, ProtPrivate, false); err == nil {
+		t.Fatal("PROT P with DCAU N accepted")
+	}
+	if _, err := secureData(conn, nil, DCAUSelf, ProtClear, false); err == nil {
+		t.Fatal("DCAU without credential accepted")
+	}
+}
+
+func TestDCSCBlobRejectsKeyless(t *testing.T) {
+	ca, _ := gsi.NewCA("/O=x/CN=CA", time.Hour)
+	user, _ := ca.Issue(gsi.IssueOptions{Subject: "/O=x/CN=u", Lifetime: time.Hour})
+	keyless := &gsi.Credential{Cert: user.Cert, Chain: user.Chain}
+	blob, err := EncodeDCSCBlob(keyless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDCSCBlob(blob, gsi.NewTrustStore()); err == nil {
+		t.Fatal("keyless DCSC blob accepted (endpoint could not present it)")
+	}
+}

@@ -1,0 +1,282 @@
+package gridftp
+
+import (
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/authz"
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/ftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/usagestats"
+)
+
+// DefaultPort is the IANA-registered GridFTP control port.
+const DefaultPort = 2811
+
+// StripeNode is one data-mover node of a striped server: a host that runs
+// a DTP but no protocol interpreter (§II.B).
+type StripeNode struct {
+	Host *netsim.Host
+}
+
+// ServerConfig configures a GridFTP server.
+type ServerConfig struct {
+	// HostCred is the server's host credential (control channel identity).
+	HostCred *gsi.Credential
+	// Trust validates control-channel clients and is the default data
+	// channel trust (DCSC overlays it).
+	Trust *gsi.TrustStore
+	// Authz maps authenticated identities to local usernames.
+	Authz authz.Callout
+	// Storage is the DSI backend requests execute against.
+	Storage dsi.Storage
+	// Banner is the 220 greeting text.
+	Banner string
+	// MarkerInterval is how often STOR emits restart markers (111
+	// replies). Zero disables them.
+	MarkerInterval time.Duration
+	// StripeNodes, when non-empty, turns this into a striped server: the
+	// PI runs on the main host, DTPs on the stripe nodes.
+	StripeNodes []StripeNode
+	// DisableChannelCache turns off cross-transfer data channel reuse
+	// (used by the ablation benchmark).
+	DisableChannelCache bool
+	// DataTimeout bounds waits for data connections (default 30s).
+	DataTimeout time.Duration
+	// Usage, if non-nil, receives per-transfer usage reports (the
+	// opt-in statistics stream behind the paper's Fig 1).
+	Usage *usagestats.Collector
+	// EndpointName identifies this server in usage reports.
+	EndpointName string
+	// Logf, if non-nil, receives debug logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is a GridFTP server protocol interpreter plus its DTP(s).
+type Server struct {
+	cfg  ServerConfig
+	host *netsim.Host
+
+	mu       sync.Mutex
+	closed   bool
+	listener net.Listener
+}
+
+// NewServer creates a server bound to a simulated host.
+func NewServer(host *netsim.Host, cfg ServerConfig) (*Server, error) {
+	if cfg.HostCred == nil || cfg.Trust == nil {
+		return nil, errors.New("gridftp: server requires host credential and trust store")
+	}
+	if cfg.Authz == nil {
+		return nil, errors.New("gridftp: server requires an authorization callout")
+	}
+	if cfg.Storage == nil {
+		return nil, errors.New("gridftp: server requires a storage backend")
+	}
+	if cfg.Banner == "" {
+		cfg.Banner = "Instant GridFTP server ready"
+	}
+	return &Server{cfg: cfg, host: host}, nil
+}
+
+// Host returns the simulated host the server runs on.
+func (s *Server) Host() *netsim.Host { return s.host }
+
+// ListenAndServe starts accepting control connections on the given port
+// (0 picks one) and returns the listener address immediately; sessions are
+// served on background goroutines.
+func (s *Server) ListenAndServe(port int) (net.Addr, error) {
+	l, err := s.host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	go s.serveLoop(l)
+	return l.Addr(), nil
+}
+
+// Close stops the control listener.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *Server) serveLoop(l net.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveSession(conn)
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// session is the per-control-connection state machine.
+type session struct {
+	srv  *Server
+	ctrl *ftp.Conn
+
+	// replyMu serializes control-channel writes (marker goroutines write
+	// 111 replies concurrently with the command loop).
+	replyMu sync.Mutex
+
+	authenticated bool
+	identity      *gsi.VerifiedIdentity
+	localUser     string
+
+	// delegated is the user proxy delegated over the control channel;
+	// it is the default data channel credential.
+	delegated *gsi.Credential
+	// dcsc is the security context installed by DCSC P (nil = default).
+	dcsc *SecurityContext
+
+	spec    ChannelSpec
+	restart []Range
+	cwd     string
+
+	renameFrom string
+
+	// lite marks a GridFTP-Lite session (SSH-tunneled control channel,
+	// §III.B): no data channel security, no delegation, no striping.
+	lite bool
+
+	data sessionData
+}
+
+func (s *Server) serveSession(conn net.Conn) {
+	sess := &session{
+		srv:  s,
+		ctrl: ftp.NewConn(conn),
+		spec: ChannelSpec{}.Normalize(),
+		cwd:  "/",
+	}
+	defer sess.close()
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("gridftp: session panic: %v", r)
+		}
+	}()
+	sess.reply(ftp.CodeReadyForNewUser, s.cfg.Banner)
+	sess.loop()
+}
+
+func (sess *session) close() {
+	sess.data.closeAll()
+	sess.ctrl.Close()
+}
+
+func (sess *session) reply(code int, lines ...string) {
+	sess.replyMu.Lock()
+	defer sess.replyMu.Unlock()
+	if err := sess.ctrl.WriteReply(code, lines...); err != nil {
+		sess.srv.logf("reply write failed: %v", err)
+	}
+}
+
+func (sess *session) loop() {
+	for {
+		cmd, err := sess.ctrl.ReadCommand()
+		if err != nil {
+			return
+		}
+		sess.srv.logf("<- %s", cmd)
+		if quit := sess.dispatch(cmd); quit {
+			return
+		}
+	}
+}
+
+// handleAuth performs the RFC 2228 security exchange: AUTH TLS upgrades
+// the control channel to mutually authenticated TLS, then the
+// authorization callout determines the local user (§II.C).
+func (sess *session) handleAuth(params string) bool {
+	if params != "TLS" && params != "GSSAPI" {
+		sess.reply(ftp.CodeParamNotImpl, "Only AUTH TLS/GSSAPI supported")
+		return false
+	}
+	if sess.authenticated {
+		sess.reply(ftp.CodeBadSequence, "Already authenticated")
+		return false
+	}
+	sess.reply(ftp.CodeAuthOK, "Proceed with security exchange")
+	raw := sess.ctrl.Transport()
+	tc := tls.Server(raw, gsi.ServerTLSConfig(sess.srv.cfg.HostCred, sess.srv.cfg.Trust))
+	raw.SetDeadline(time.Now().Add(30 * time.Second))
+	if err := tc.Handshake(); err != nil {
+		sess.srv.logf("control handshake failed: %v", err)
+		return true // connection is unusable; drop the session
+	}
+	raw.SetDeadline(time.Time{})
+	id, err := gsi.PeerIdentity(tc, sess.srv.cfg.Trust)
+	if err != nil {
+		sess.srv.logf("control peer verification failed: %v", err)
+		return true
+	}
+	sess.ctrl.Upgrade(tc)
+	// Authorization callout: identity -> local user ("setuid").
+	user, err := sess.srv.cfg.Authz.Map(id)
+	if err != nil {
+		sess.reply(ftp.CodeNotLoggedIn, fmt.Sprintf("Authorization failed: %v", err))
+		return true
+	}
+	sess.authenticated = true
+	sess.identity = id
+	sess.localUser = user
+	sess.reply(ftp.CodeUserLoggedIn,
+		fmt.Sprintf("User %s logged in as local user %s", id.Identity, user))
+	return false
+}
+
+// handleDelegation receives a delegated proxy over the (now encrypted)
+// control channel; it becomes the default data channel credential.
+func (sess *session) handleDelegation() {
+	sess.reply(335, "Ready for delegation")
+	cred, err := gsi.AcceptDelegation(sess.ctrl.RW())
+	if err != nil {
+		sess.reply(ftp.CodeLocalError, fmt.Sprintf("Delegation failed: %v", err))
+		return
+	}
+	// The delegated identity must match the control channel login.
+	if cred.Identity() != sess.identity.Identity {
+		sess.reply(ftp.CodeNotLoggedIn, "Delegated credential identity mismatch")
+		return
+	}
+	sess.delegated = cred
+	sess.data.flush() // security context changed
+	sess.reply(ftp.CodeOK, "Delegation complete")
+}
+
+// dataContext resolves the active data channel security context.
+func (sess *session) dataContext() *SecurityContext {
+	if sess.dcsc != nil {
+		return sess.dcsc
+	}
+	if sess.delegated == nil {
+		return nil
+	}
+	return &SecurityContext{
+		Cred:           sess.delegated,
+		Trust:          sess.srv.cfg.Trust,
+		ExpectIdentity: sess.delegated.Identity(),
+	}
+}

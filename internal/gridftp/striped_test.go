@@ -1,0 +1,133 @@
+package gridftp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// newStripedSite builds a striped server: PI on <name>, DTPs on
+// <name>-dtp0..N-1 (§II.B: "one server PI on the head node of a cluster
+// and a DTP on all other nodes").
+func newStripedSite(t *testing.T, nw *netsim.Network, name string, stripes int) *site {
+	t.Helper()
+	return newSite(t, nw, name, func(cfg *ServerConfig) {
+		for i := 0; i < stripes; i++ {
+			cfg.StripeNodes = append(cfg.StripeNodes, StripeNode{
+				Host: nw.Host(fmt.Sprintf("%s-dtp%d", name, i)),
+			})
+		}
+	})
+}
+
+func TestStripedThirdPartyTransfer(t *testing.T) {
+	nw := netsim.NewNetwork()
+	src := newStripedSite(t, nw, "clusterA", 4)
+	dst := newStripedSite(t, nw, "clusterB", 4)
+	laptop := nw.Host("laptop")
+
+	// Same trust domain: both sites share CA-A's trust for simplicity.
+	// (Cross-CA striping is covered by the DCSC tests; here we exercise
+	// SPAS/SPOR plumbing.)
+	dst.trust.AddCA(src.ca.Certificate())
+	src.trust.AddCA(dst.ca.Certificate())
+	// Users: the source user must map at the destination too.
+	dst.gridmap.AddEntry(src.user.DN(), "alice")
+
+	cSrc := src.connect(t, laptop, true)
+
+	proxy, err := gsi.NewProxy(src.user, gsi.ProxyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cDst, err := Dial(laptop, dst.addr, proxy, dst.trust)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cDst.Close()
+	if err := cDst.Delegate(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := pattern(2 * 1024 * 1024)
+	src.putFile(t, "/striped.bin", payload)
+	if err := cSrc.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := cDst.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ThirdParty(cSrc, "/striped.bin", cDst, "/out.bin", ThirdPartyOptions{Striped: true}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.readFile(t, "/out.bin"); !bytes.Equal(got, payload) {
+		t.Fatal("striped transfer content mismatch")
+	}
+}
+
+func TestStripedSpasReturnsAllNodes(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newStripedSite(t, nw, "clusterA", 3)
+	c := s.connect(t, nw.Host("laptop"), true)
+	addrs, err := c.Passive(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 3 {
+		t.Fatalf("SPAS returned %v", addrs)
+	}
+	hosts := map[string]bool{}
+	for _, a := range addrs {
+		hosts[a[:len(a)-6]] = true // trim ":NNNNN"
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("SPAS listeners not spread across stripe nodes: %v", addrs)
+	}
+}
+
+func TestStripedAggregatesPerNodeBandwidth(t *testing.T) {
+	// Give every host pair a modest per-link bandwidth; a striped transfer
+	// crosses S distinct links and should beat the single-node transfer.
+	nw := netsim.NewNetwork()
+	nw.SetDefaultLink(netsim.LinkParams{
+		Bandwidth: 3e6, RTT: 4 * time.Millisecond, StreamWindow: 1 << 20,
+	})
+	payload := pattern(3 * 1024 * 1024)
+
+	run := func(stripes int) time.Duration {
+		src := newStripedSite(t, nw, fmt.Sprintf("sA%d", stripes), stripes)
+		dst := newStripedSite(t, nw, fmt.Sprintf("sB%d", stripes), stripes)
+		dst.trust.AddCA(src.ca.Certificate())
+		src.trust.AddCA(dst.ca.Certificate())
+		dst.gridmap.AddEntry(src.user.DN(), "alice")
+		laptop := nw.Host(fmt.Sprintf("laptop%d", stripes))
+		cSrc := src.connect(t, laptop, true)
+		proxy, _ := gsi.NewProxy(src.user, gsi.ProxyOptions{})
+		cDst, err := Dial(laptop, dst.addr, proxy, dst.trust)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { cDst.Close() })
+		if err := cDst.Delegate(time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		cSrc.SetParallelism(stripes)
+		cDst.SetParallelism(stripes)
+		src.putFile(t, "/f.bin", payload)
+		res, err := ThirdParty(cSrc, "/f.bin", cDst, "/f.bin", ThirdPartyOptions{Striped: stripes > 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+
+	t1 := run(1)
+	t4 := run(4)
+	if t4 >= t1 {
+		t.Fatalf("striping did not help: 1 stripe %v, 4 stripes %v", t1, t4)
+	}
+}

@@ -1,0 +1,81 @@
+package gridftp
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+func TestUDTTransportTransfersCorrectly(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	if err := c.SetTransport(netsim.TransportUDT); err != nil {
+		t.Fatal(err)
+	}
+	payload := pattern(500000)
+	if _, err := c.Put("/udt.bin", dsi.NewBufferFile(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.readFile(t, "/udt.bin"); !bytes.Equal(got, payload) {
+		t.Fatal("UDT put mismatch")
+	}
+	dst := dsi.NewBufferFile(nil)
+	if _, err := c.Get("/udt.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		t.Fatal("UDT get mismatch")
+	}
+	// Switching back to TCP keeps working.
+	if err := c.SetTransport(netsim.TransportTCP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("/udt.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDTBeatsWindowLimitedTCPOnLossyWAN(t *testing.T) {
+	// §II.A [9]: GridFTP's XIO layer exists precisely so transfers can use
+	// protocols like UDT on links where per-stream TCP collapses.
+	link := netsim.LinkParams{
+		Bandwidth: 30e6, RTT: 40 * time.Millisecond, Loss: 0.001, StreamWindow: 64 << 10,
+	}
+	rate := func(tr netsim.Transport) float64 {
+		nw := netsim.NewNetwork()
+		nw.SetLink("laptop", "siteA", link)
+		s := newSite(t, nw, "siteA")
+		c := s.connect(t, nw.Host("laptop"), true)
+		defer c.Close()
+		if err := c.SetTransport(tr); err != nil {
+			t.Fatal(err)
+		}
+		payload := pattern(1 << 20)
+		s.putFile(t, "/f.bin", payload)
+		dst := dsi.NewBufferFile(nil)
+		start := time.Now()
+		if _, err := c.Get("/f.bin", dst); err != nil {
+			t.Fatal(err)
+		}
+		return float64(len(payload)) / time.Since(start).Seconds()
+	}
+	tcp := rate(netsim.TransportTCP)
+	udt := rate(netsim.TransportUDT)
+	if udt < 3*tcp {
+		t.Fatalf("UDT (%.0f B/s) should dominate single-stream TCP (%.0f B/s) on this link", udt, tcp)
+	}
+	t.Logf("tcp=%.2f MB/s udt=%.2f MB/s (%.1fx)", tcp/1e6, udt/1e6, udt/tcp)
+}
+
+func TestBadTransportRefused(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), false)
+	if _, err := c.cmdExpect("OPTS", "RETR Transport=RDMA;", 200); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package gridftp
+
+import "testing"
+
+func TestParseURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		want URL
+	}{
+		{"gsiftp://siteA/data/x.bin", URL{"gsiftp", "siteA:2811", "/data/x.bin"}},
+		{"gsiftp://siteA:3000/x", URL{"gsiftp", "siteA:3000", "/x"}},
+		{"sshftp://siteB/y", URL{"sshftp", "siteB:22", "/y"}},
+		{"file:/tmp/z", URL{"file", "", "/tmp/z"}},
+		{"file:///tmp/z", URL{"file", "", "/tmp/z"}},
+		{"gsiftp://siteA/", URL{"gsiftp", "siteA:2811", "/"}},
+	}
+	for _, tc := range cases {
+		got, err := ParseURL(tc.in)
+		if err != nil {
+			t.Errorf("ParseURL(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseURL(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+		if got.IsLocal() != (tc.want.Scheme == "file") {
+			t.Errorf("IsLocal(%q)", tc.in)
+		}
+	}
+	for _, bad := range []string{"", "http://x/y", "gsiftp:///nohost", "no-scheme", "file:relative"} {
+		if _, err := ParseURL(bad); err == nil {
+			t.Errorf("ParseURL(%q) should fail", bad)
+		}
+	}
+	// Round trip via String.
+	u, _ := ParseURL("gsiftp://siteA:2811/a/b")
+	if u.String() != "gsiftp://siteA:2811/a/b" {
+		t.Fatalf("String: %s", u)
+	}
+	f, _ := ParseURL("file:/a")
+	if f.String() != "file:/a" {
+		t.Fatalf("String: %s", f)
+	}
+}

@@ -1,0 +1,103 @@
+package gsi
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/base64"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Credential delegation (RFC 3820 model): the receiving party generates a
+// key pair locally — the private key never crosses the wire — and sends the
+// public key to the delegator, who signs a proxy certificate over it and
+// returns the certificate plus its chain. GridFTP performs this exchange on
+// the (already authenticated and encrypted) control channel so the server
+// can authenticate data channels on the user's behalf; SSH's inability to
+// do this is one of GridFTP-Lite's limitations the paper calls out (§III.B).
+
+// AcceptDelegation runs the receiving side of a delegation exchange over
+// rw: generate a key, send the public key, read back the signed proxy
+// certificate bundle.
+func AcceptDelegation(rw io.ReadWriter) (*Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeB64Line(rw, pubDER); err != nil {
+		return nil, fmt.Errorf("gsi: delegation send key: %w", err)
+	}
+	bundle, err := readB64Line(rw)
+	if err != nil {
+		return nil, fmt.Errorf("gsi: delegation read bundle: %w", err)
+	}
+	cred, err := DecodePEM(bundle)
+	if err != nil {
+		return nil, err
+	}
+	cred.Key = key
+	return cred, nil
+}
+
+// Delegate runs the giving side of a delegation exchange over rw: read the
+// peer's public key, sign a proxy over it with cred, send back the proxy
+// certificate and full chain.
+func Delegate(rw io.ReadWriter, cred *Credential, lifetime time.Duration) error {
+	pubDER, err := readB64Line(rw)
+	if err != nil {
+		return fmt.Errorf("gsi: delegation read key: %w", err)
+	}
+	pub, err := x509.ParsePKIXPublicKey(pubDER)
+	if err != nil {
+		return fmt.Errorf("gsi: delegation bad public key: %w", err)
+	}
+	proxyCert, err := SignProxy(cred, pub, ProxyOptions{Lifetime: lifetime})
+	if err != nil {
+		return err
+	}
+	out := &Credential{
+		Cert:  proxyCert,
+		Chain: append([]*x509.Certificate{cred.Cert}, cred.Chain...),
+	}
+	bundle, err := out.EncodePEM()
+	if err != nil {
+		return err
+	}
+	if err := writeB64Line(rw, bundle); err != nil {
+		return fmt.Errorf("gsi: delegation send bundle: %w", err)
+	}
+	return nil
+}
+
+func writeB64Line(w io.Writer, data []byte) error {
+	_, err := fmt.Fprintf(w, "%s\n", base64.StdEncoding.EncodeToString(data))
+	return err
+}
+
+// readB64Line reads a base64 line byte-by-byte so it never consumes bytes
+// beyond the newline — delegation runs mid-stream on the control channel
+// and must not swallow the protocol data that follows.
+func readB64Line(r io.Reader) ([]byte, error) {
+	var line []byte
+	buf := make([]byte, 1)
+	for {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		if buf[0] == '\n' {
+			break
+		}
+		line = append(line, buf[0])
+		if len(line) > 4<<20 {
+			return nil, fmt.Errorf("gsi: delegation message too large")
+		}
+	}
+	return base64.StdEncoding.DecodeString(string(line))
+}

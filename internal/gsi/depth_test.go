@@ -1,0 +1,61 @@
+package gsi
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProxyChainDepthLimit(t *testing.T) {
+	ca := mustCA(t, "/O=Grid/CN=CA")
+	cred := mustIssue(t, ca, IssueOptions{Subject: "/O=Grid/CN=u"})
+	trust := NewTrustStore()
+	trust.AddCA(ca.Certificate())
+
+	// Proxies of proxies up to a depth the verifier must refuse.
+	cur := cred
+	for i := 0; i < maxChainDepth+2; i++ {
+		next, err := NewProxy(cur, ProxyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+	}
+	if _, err := trust.Verify(cur.FullChain(), time.Now()); err == nil {
+		t.Fatal("over-deep proxy chain accepted")
+	}
+	// A reasonable depth still verifies.
+	mid := cred
+	for i := 0; i < 4; i++ {
+		next, err := NewProxy(mid, ProxyOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid = next
+	}
+	id, err := trust.Verify(mid.FullChain(), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.ProxyDepth != 4 {
+		t.Fatalf("depth %d", id.ProxyDepth)
+	}
+}
+
+func TestDelegatedLifetimeClamped(t *testing.T) {
+	ca := mustCA(t, "/O=Grid/CN=CA")
+	// Short-lived issuer: the delegated proxy cannot outlive it.
+	cred := mustIssue(t, ca, IssueOptions{Subject: "/O=Grid/CN=u", Lifetime: 30 * time.Minute})
+	proxy, err := NewProxy(cred, ProxyOptions{Lifetime: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Cert.NotAfter.After(cred.Cert.NotAfter) {
+		t.Fatal("proxy outlives its issuer")
+	}
+	// An expired issuer cannot delegate at all.
+	expired := mustIssue(t, ca, IssueOptions{Subject: "/O=Grid/CN=v", Lifetime: time.Millisecond})
+	time.Sleep(5 * time.Millisecond)
+	if _, err := NewProxy(expired, ProxyOptions{}); err == nil {
+		t.Fatal("expired issuer produced a proxy")
+	}
+}

@@ -1,0 +1,234 @@
+// Package gsi implements the Grid Security Infrastructure pieces that
+// GridFTP and GCMU depend on: an X.509 certificate-authority toolkit,
+// RFC 3820-style proxy certificates, custom chain verification that accepts
+// proxy chains (which stdlib crypto/x509 rejects), Globus-style CA signing
+// policies, credential PEM bundles, TLS configuration builders, and
+// credential delegation over an established channel.
+package gsi
+
+import (
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"fmt"
+	"strings"
+)
+
+// DN is a distinguished name in Globus "slash" form, e.g.
+// "/C=US/O=Grid/OU=GCMU/CN=alice". The empty DN is "".
+type DN string
+
+// attr is one RDN attribute in order of appearance.
+type attr struct {
+	Key   string
+	Value string
+}
+
+var (
+	oidCountry      = asn1.ObjectIdentifier{2, 5, 4, 6}
+	oidOrganization = asn1.ObjectIdentifier{2, 5, 4, 10}
+	oidOrgUnit      = asn1.ObjectIdentifier{2, 5, 4, 11}
+	oidCommonName   = asn1.ObjectIdentifier{2, 5, 4, 3}
+	oidLocality     = asn1.ObjectIdentifier{2, 5, 4, 7}
+	oidProvince     = asn1.ObjectIdentifier{2, 5, 4, 8}
+)
+
+var keyToOID = map[string]asn1.ObjectIdentifier{
+	"C":  oidCountry,
+	"ST": oidProvince,
+	"L":  oidLocality,
+	"O":  oidOrganization,
+	"OU": oidOrgUnit,
+	"CN": oidCommonName,
+}
+
+func oidToKey(oid asn1.ObjectIdentifier) string {
+	for k, v := range keyToOID {
+		if v.Equal(oid) {
+			return k
+		}
+	}
+	return ""
+}
+
+// parseDN splits a slash-form DN into attributes. It tolerates values
+// containing escaped slashes ("\/").
+func parseDN(dn DN) ([]attr, error) {
+	s := string(dn)
+	if s == "" {
+		return nil, nil
+	}
+	if !strings.HasPrefix(s, "/") {
+		return nil, fmt.Errorf("gsi: DN %q must start with '/'", dn)
+	}
+	var attrs []attr
+	var cur strings.Builder
+	var parts []string
+	esc := false
+	for _, r := range s[1:] {
+		switch {
+		case esc:
+			cur.WriteRune(r)
+			esc = false
+		case r == '\\':
+			esc = true
+		case r == '/':
+			parts = append(parts, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	parts = append(parts, cur.String())
+	for _, p := range parts {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("gsi: malformed RDN %q in DN %q", p, dn)
+		}
+		key := strings.ToUpper(strings.TrimSpace(k))
+		if _, known := keyToOID[key]; !known {
+			return nil, fmt.Errorf("gsi: unsupported RDN key %q in DN %q", key, dn)
+		}
+		attrs = append(attrs, attr{Key: key, Value: v})
+	}
+	return attrs, nil
+}
+
+func formatDN(attrs []attr) DN {
+	var b strings.Builder
+	for _, a := range attrs {
+		b.WriteByte('/')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(strings.ReplaceAll(a.Value, "/", `\/`))
+	}
+	return DN(b.String())
+}
+
+// CertDN extracts the subject DN of a parsed certificate, preserving RDN
+// order including stacked proxy CNs.
+func CertDN(cert *x509.Certificate) DN {
+	return nameDN(cert.Subject)
+}
+
+// IssuerDN extracts the issuer DN of a parsed certificate.
+func IssuerDN(cert *x509.Certificate) DN {
+	return nameDN(cert.Issuer)
+}
+
+func nameDN(n pkix.Name) DN {
+	var attrs []attr
+	for _, atv := range n.Names {
+		key := oidToKey(atv.Type)
+		if key == "" {
+			continue
+		}
+		if s, ok := atv.Value.(string); ok {
+			attrs = append(attrs, attr{Key: key, Value: s})
+		}
+	}
+	if len(attrs) == 0 {
+		// Name was built programmatically (not parsed): fall back to fields.
+		add := func(key string, vals ...string) {
+			for _, v := range vals {
+				if v != "" {
+					attrs = append(attrs, attr{key, v})
+				}
+			}
+		}
+		add("C", n.Country...)
+		add("ST", n.Province...)
+		add("L", n.Locality...)
+		add("O", n.Organization...)
+		add("OU", n.OrganizationalUnit...)
+		add("CN", n.CommonName)
+	}
+	return formatDN(attrs)
+}
+
+// DNToName converts a slash-form DN into a pkix.Name suitable for
+// certificate creation. All attributes are carried in ExtraNames so the
+// marshaled RDN sequence preserves order exactly — required for proxy
+// subjects, which stack multiple CN RDNs.
+func DNToName(dn DN) (pkix.Name, error) {
+	attrs, err := parseDN(dn)
+	if err != nil {
+		return pkix.Name{}, err
+	}
+	var n pkix.Name
+	for _, a := range attrs {
+		n.ExtraNames = append(n.ExtraNames, pkix.AttributeTypeAndValue{
+			Type:  keyToOID[a.Key],
+			Value: a.Value,
+		})
+	}
+	return n, nil
+}
+
+// Valid reports whether the DN parses.
+func (d DN) Valid() bool {
+	_, err := parseDN(d)
+	return err == nil && d != ""
+}
+
+// CNs returns all CN values of the DN in order.
+func (d DN) CNs() []string {
+	attrs, err := parseDN(d)
+	if err != nil {
+		return nil
+	}
+	var cns []string
+	for _, a := range attrs {
+		if a.Key == "CN" {
+			cns = append(cns, a.Value)
+		}
+	}
+	return cns
+}
+
+// LastCN returns the final CN RDN, which for GCMU-issued certificates is
+// the local username and for proxies is the proxy marker.
+func (d DN) LastCN() string {
+	cns := d.CNs()
+	if len(cns) == 0 {
+		return ""
+	}
+	return cns[len(cns)-1]
+}
+
+// AppendCN returns the DN extended with one more CN RDN (used to derive
+// proxy subjects from their issuer's subject).
+func (d DN) AppendCN(cn string) DN {
+	return d + DN("/CN="+strings.ReplaceAll(cn, "/", `\/`))
+}
+
+// StripLastCN returns the DN with its final CN removed, or the DN itself
+// if it has no CN.
+func (d DN) StripLastCN() DN {
+	attrs, err := parseDN(d)
+	if err != nil {
+		return d
+	}
+	last := -1
+	for i, a := range attrs {
+		if a.Key == "CN" {
+			last = i
+		}
+	}
+	if last < 0 {
+		return d
+	}
+	return formatDN(append(attrs[:last:last], attrs[last+1:]...))
+}
+
+// Matches reports whether the DN matches a Globus signing-policy pattern,
+// where a trailing '*' is a prefix wildcard (e.g. "/O=Grid/*").
+func (d DN) Matches(pattern string) bool {
+	if pattern == "*" {
+		return true
+	}
+	if strings.HasSuffix(pattern, "*") {
+		return strings.HasPrefix(string(d), strings.TrimSuffix(pattern, "*"))
+	}
+	return string(d) == pattern
+}

@@ -1,0 +1,171 @@
+package gsi
+
+import (
+	"crypto"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// proxyCNPrefix marks proxy certificates. RFC 3820 uses a numeric CN plus a
+// ProxyCertInfo extension; legacy Globus proxies use CN=proxy. We follow the
+// legacy convention ("proxy" or "limited proxy" or a numeric serial prefixed
+// form) because it is self-describing in the DN, which is what the AUTHZ
+// callout and gridmap matching operate on.
+const (
+	proxyCN        = "proxy"
+	limitedProxyCN = "limited proxy"
+)
+
+// isProxyCN reports whether a CN value marks a proxy certificate level.
+func isProxyCN(cn string) bool {
+	if cn == proxyCN || cn == limitedProxyCN {
+		return true
+	}
+	// RFC 3820 style: purely numeric CN.
+	if cn == "" {
+		return false
+	}
+	_, err := strconv.ParseUint(cn, 10, 64)
+	return err == nil
+}
+
+// ProxyOptions controls proxy-certificate generation.
+type ProxyOptions struct {
+	// Lifetime of the proxy; clamped to the issuer's remaining lifetime.
+	// Defaults to 12 hours, the conventional Globus proxy lifetime.
+	Lifetime time.Duration
+	// Limited marks a limited proxy (may authenticate but not be further
+	// delegated for job submission; GridFTP treats it as a normal proxy).
+	Limited bool
+	// Key lets the caller supply the (remotely generated) key pair for
+	// delegation; when nil a fresh key is generated.
+	PublicKey crypto.PublicKey
+}
+
+// NewProxy derives a proxy credential from issuer: a fresh key pair and a
+// certificate whose subject is the issuer's subject plus one proxy CN,
+// signed by the issuer's (end-entity or proxy) key.
+func NewProxy(issuer *Credential, opts ProxyOptions) (*Credential, error) {
+	if issuer.Key == nil {
+		return nil, errors.New("gsi: proxy issuer has no private key")
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := SignProxy(issuer, &key.PublicKey, opts)
+	if err != nil {
+		return nil, err
+	}
+	chain := append([]*x509.Certificate{issuer.Cert}, issuer.Chain...)
+	return &Credential{Cert: cert, Key: key, Chain: chain}, nil
+}
+
+// SignProxy signs a proxy certificate over pub with the issuer credential —
+// the primitive used both locally (NewProxy) and for delegation, where the
+// key pair lives on the remote end.
+func SignProxy(issuer *Credential, pub crypto.PublicKey, opts ProxyOptions) (*x509.Certificate, error) {
+	if issuer.Key == nil {
+		return nil, errors.New("gsi: proxy issuer has no private key")
+	}
+	lifetime := opts.Lifetime
+	if lifetime <= 0 {
+		lifetime = 12 * time.Hour
+	}
+	cn := proxyCN
+	if opts.Limited {
+		cn = limitedProxyCN
+	}
+	subject := CertDN(issuer.Cert).AppendCN(cn)
+	name, err := DNToName(subject)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Now().Add(-time.Minute)
+	notAfter := now.Add(lifetime)
+	if notAfter.After(issuer.Cert.NotAfter) {
+		notAfter = issuer.Cert.NotAfter
+	}
+	if !notAfter.After(now) {
+		return nil, errors.New("gsi: issuer credential already expired")
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          nextSerial(),
+		Subject:               name,
+		NotBefore:             now,
+		NotAfter:              notAfter,
+		KeyUsage:              x509.KeyUsageDigitalSignature | x509.KeyUsageKeyEncipherment,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, issuer.Cert, pub, issuer.Key)
+	if err != nil {
+		return nil, err
+	}
+	return x509.ParseCertificate(der)
+}
+
+// IsProxy reports whether cert is a proxy certificate: its subject is its
+// issuer's subject plus exactly one proxy-marker CN.
+func IsProxy(cert *x509.Certificate) bool {
+	subj := CertDN(cert)
+	last := subj.LastCN()
+	if !isProxyCN(last) {
+		return false
+	}
+	return subj.StripLastCN() == IssuerDN(cert)
+}
+
+// ProxyDepth returns how many proxy levels the certificate's subject
+// carries (0 for a plain end-entity certificate).
+func ProxyDepth(cert *x509.Certificate) int {
+	d := CertDN(cert)
+	n := 0
+	for isProxyCN(d.LastCN()) {
+		n++
+		d = d.StripLastCN()
+	}
+	return n
+}
+
+// BaseIdentity strips all proxy CN levels from the certificate's subject,
+// yielding the end-entity identity DN.
+func BaseIdentity(cert *x509.Certificate) DN {
+	d := CertDN(cert)
+	for isProxyCN(d.LastCN()) {
+		d = d.StripLastCN()
+	}
+	return d
+}
+
+// ValidateProxyLink checks that child is a well-formed proxy issued by
+// parent: subject derivation, signature, and nested validity window.
+func ValidateProxyLink(child, parent *x509.Certificate, now time.Time) error {
+	if !IsProxy(child) {
+		return fmt.Errorf("gsi: %q is not a proxy certificate", CertDN(child))
+	}
+	if CertDN(child).StripLastCN() != CertDN(parent) {
+		return fmt.Errorf("gsi: proxy subject %q not derived from issuer subject %q",
+			CertDN(child), CertDN(parent))
+	}
+	if err := child.CheckSignatureFrom(parent); err != nil {
+		// CheckSignatureFrom refuses non-CA issuers; fall back to a direct
+		// signature check, which is exactly what GSI proxy validation does.
+		if err := parent.CheckSignature(child.SignatureAlgorithm, child.RawTBSCertificate, child.Signature); err != nil {
+			return fmt.Errorf("gsi: proxy signature invalid: %w", err)
+		}
+	}
+	if now.Before(child.NotBefore) || now.After(child.NotAfter) {
+		return fmt.Errorf("gsi: proxy certificate %q outside validity window", CertDN(child))
+	}
+	if child.NotAfter.After(parent.NotAfter) {
+		return fmt.Errorf("gsi: proxy lifetime exceeds issuer lifetime")
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+package gsi
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// TLSCertificate converts the credential into a crypto/tls certificate
+// (leaf first, then the chain, as TLS requires).
+func (c *Credential) TLSCertificate() tls.Certificate {
+	raw := make([][]byte, 0, len(c.Chain)+1)
+	raw = append(raw, c.Cert.Raw)
+	for _, cc := range c.Chain {
+		raw = append(raw, cc.Raw)
+	}
+	return tls.Certificate{
+		Certificate: raw,
+		PrivateKey:  c.Key,
+		Leaf:        c.Cert,
+	}
+}
+
+// verifyCallback builds a VerifyPeerCertificate hook that applies GSI
+// chain validation (proxy-aware, signing-policy-enforcing) in place of the
+// stdlib verifier, which rejects proxy chains.
+func verifyCallback(trust *TrustStore) func([][]byte, [][]*x509.Certificate) error {
+	return func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+		_, err := trust.VerifyRaw(rawCerts, time.Now())
+		return err
+	}
+}
+
+// ServerTLSConfig builds a TLS server configuration that presents cred and
+// demands a client certificate verified against trust with GSI semantics.
+func ServerTLSConfig(cred *Credential, trust *TrustStore) *tls.Config {
+	return &tls.Config{
+		Certificates:          []tls.Certificate{cred.TLSCertificate()},
+		ClientAuth:            tls.RequireAnyClientCert,
+		InsecureSkipVerify:    true, // GSI verification below replaces stdlib verification
+		VerifyPeerCertificate: verifyCallback(trust),
+		MinVersion:            tls.VersionTLS12,
+	}
+}
+
+// ServerTLSConfigNoClientAuth builds a TLS server configuration that
+// presents cred but does not demand a client certificate — the MyProxy
+// logon case, where the connecting user has no certificate yet (obtaining
+// one is the point of the exchange) and authenticates with site
+// credentials inside the session instead.
+func ServerTLSConfigNoClientAuth(cred *Credential) *tls.Config {
+	return &tls.Config{
+		Certificates: []tls.Certificate{cred.TLSCertificate()},
+		MinVersion:   tls.VersionTLS12,
+	}
+}
+
+// ClientTLSConfig builds a TLS client configuration that presents cred
+// (which may be nil for an anonymous client) and verifies the server
+// against trust with GSI semantics.
+func ClientTLSConfig(cred *Credential, trust *TrustStore) *tls.Config {
+	cfg := &tls.Config{
+		InsecureSkipVerify:    true, // GSI verification below replaces stdlib verification
+		VerifyPeerCertificate: verifyCallback(trust),
+		MinVersion:            tls.VersionTLS12,
+	}
+	if cred != nil {
+		cfg.Certificates = []tls.Certificate{cred.TLSCertificate()}
+	}
+	return cfg
+}
+
+// PeerIdentity re-verifies the handshake's peer chain and returns the GSI
+// identity; callers use it after the handshake to learn who connected.
+func PeerIdentity(conn *tls.Conn, trust *TrustStore) (*VerifiedIdentity, error) {
+	state := conn.ConnectionState()
+	if len(state.PeerCertificates) == 0 {
+		return nil, errors.New("gsi: peer presented no certificate")
+	}
+	return trust.Verify(state.PeerCertificates, time.Now())
+}
+
+// HandshakeServer wraps conn in a server-side TLS session using cred/trust
+// and returns the connection plus the verified client identity.
+func HandshakeServer(conn net.Conn, cred *Credential, trust *TrustStore) (*tls.Conn, *VerifiedIdentity, error) {
+	tc := tls.Server(conn, ServerTLSConfig(cred, trust))
+	if err := tc.Handshake(); err != nil {
+		return nil, nil, fmt.Errorf("gsi: server handshake: %w", err)
+	}
+	id, err := PeerIdentity(tc, trust)
+	if err != nil {
+		tc.Close()
+		return nil, nil, err
+	}
+	return tc, id, nil
+}
+
+// HandshakeClient wraps conn in a client-side TLS session using cred/trust
+// and returns the connection plus the verified server identity.
+func HandshakeClient(conn net.Conn, cred *Credential, trust *TrustStore) (*tls.Conn, *VerifiedIdentity, error) {
+	tc := tls.Client(conn, ClientTLSConfig(cred, trust))
+	if err := tc.Handshake(); err != nil {
+		return nil, nil, fmt.Errorf("gsi: client handshake: %w", err)
+	}
+	id, err := PeerIdentity(tc, trust)
+	if err != nil {
+		tc.Close()
+		return nil, nil, err
+	}
+	return tc, id, nil
+}

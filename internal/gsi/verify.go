@@ -1,0 +1,268 @@
+package gsi
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// maxChainDepth bounds certificate-path walks.
+const maxChainDepth = 16
+
+// VerifiedIdentity is the outcome of a successful chain verification.
+type VerifiedIdentity struct {
+	// Identity is the end-entity DN with proxy levels stripped — the DN
+	// authorization (gridmap, AUTHZ callout) operates on.
+	Identity DN
+	// Subject is the leaf certificate's full subject DN.
+	Subject DN
+	// ProxyDepth counts proxy levels on the leaf (0 = plain EE cert).
+	ProxyDepth int
+	// IssuerCA is the DN of the trust anchor that rooted the chain; empty
+	// when the leaf itself was directly trusted (self-signed DCSC context).
+	IssuerCA DN
+	// Leaf is the verified leaf certificate.
+	Leaf *x509.Certificate
+}
+
+// TrustStore holds trust anchors and signing policies: the contents of a
+// /etc/grid-security/certificates directory. It is safe for concurrent use.
+// Cloning is cheap, which is how DCSC overlays per-data-channel contexts on
+// top of a server's default trust roots.
+type TrustStore struct {
+	mu       sync.RWMutex
+	roots    map[DN]*x509.Certificate
+	direct   map[[32]byte]*x509.Certificate
+	policies map[DN]*SigningPolicy
+}
+
+// NewTrustStore returns an empty trust store.
+func NewTrustStore() *TrustStore {
+	return &TrustStore{
+		roots:    make(map[DN]*x509.Certificate),
+		direct:   make(map[[32]byte]*x509.Certificate),
+		policies: make(map[DN]*SigningPolicy),
+	}
+}
+
+// AddCA registers a CA certificate as a trust anchor.
+func (t *TrustStore) AddCA(cert *x509.Certificate) error {
+	if !cert.IsCA {
+		return fmt.Errorf("gsi: %q is not a CA certificate", CertDN(cert))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots[CertDN(cert)] = cert
+	return nil
+}
+
+// AddPolicy registers a signing policy for a CA DN.
+func (t *TrustStore) AddPolicy(p *SigningPolicy) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.policies[p.CA] = p
+}
+
+// AddDirect registers a specific (typically self-signed end-entity)
+// certificate as directly trusted — the DCSC self-signed context case.
+func (t *TrustStore) AddDirect(cert *x509.Certificate) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.direct[sha256.Sum256(cert.Raw)] = cert
+}
+
+// Policy returns the signing policy registered for a CA DN, if any.
+func (t *TrustStore) Policy(ca DN) *SigningPolicy {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.policies[ca]
+}
+
+// CAs returns the DNs of all registered CA anchors.
+func (t *TrustStore) CAs() []DN {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]DN, 0, len(t.roots))
+	for dn := range t.roots {
+		out = append(out, dn)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the store.
+func (t *TrustStore) Clone() *TrustStore {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	c := NewTrustStore()
+	for k, v := range t.roots {
+		c.roots[k] = v
+	}
+	for k, v := range t.direct {
+		c.direct[k] = v
+	}
+	for k, v := range t.policies {
+		c.policies[k] = v
+	}
+	return c
+}
+
+func (t *TrustStore) rootFor(dn DN) *x509.Certificate {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.roots[dn]
+}
+
+func (t *TrustStore) isDirect(cert *x509.Certificate) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	got, ok := t.direct[sha256.Sum256(cert.Raw)]
+	return ok && bytes.Equal(got.Raw, cert.Raw)
+}
+
+// Verify validates a leaf-first certificate chain against the store,
+// accepting GSI proxy chains that stdlib x509.Verify rejects. Rules:
+//
+//   - every certificate must be inside its validity window at now;
+//   - a proxy may only be issued by the certificate whose subject it
+//     extends (one extra proxy CN), with a nested lifetime;
+//   - the end-entity certificate must chain to a trusted CA anchor, and if
+//     that CA has a signing policy, the signed subject must match it;
+//   - alternatively the leaf may be directly trusted (exact-certificate
+//     trust, used for DCSC self-signed contexts).
+func (t *TrustStore) Verify(chain []*x509.Certificate, now time.Time) (*VerifiedIdentity, error) {
+	if len(chain) == 0 {
+		return nil, errors.New("gsi: empty certificate chain")
+	}
+	leaf := chain[0]
+	id := &VerifiedIdentity{
+		Subject:    CertDN(leaf),
+		Identity:   BaseIdentity(leaf),
+		ProxyDepth: ProxyDepth(leaf),
+		Leaf:       leaf,
+	}
+
+	// Directly trusted leaf short-circuits the walk.
+	if t.isDirect(leaf) {
+		if now.Before(leaf.NotBefore) || now.After(leaf.NotAfter) {
+			return nil, fmt.Errorf("gsi: certificate %q outside validity window", id.Subject)
+		}
+		return id, nil
+	}
+
+	// Index the supplied extra certificates by subject for issuer lookup.
+	bySubject := make(map[DN][]*x509.Certificate)
+	for _, c := range chain[1:] {
+		dn := CertDN(c)
+		bySubject[dn] = append(bySubject[dn], c)
+	}
+
+	cur := leaf
+	for depth := 0; depth < maxChainDepth; depth++ {
+		if now.Before(cur.NotBefore) || now.After(cur.NotAfter) {
+			return nil, fmt.Errorf("gsi: certificate %q outside validity window", CertDN(cur))
+		}
+		issuerDN := IssuerDN(cur)
+
+		// Anchor in the trust store?
+		if root := t.rootFor(issuerDN); root != nil {
+			if err := cur.CheckSignatureFrom(root); err != nil {
+				return nil, fmt.Errorf("gsi: signature of %q by anchor %q invalid: %w",
+					CertDN(cur), issuerDN, err)
+			}
+			if now.After(root.NotAfter) || now.Before(root.NotBefore) {
+				return nil, fmt.Errorf("gsi: trust anchor %q expired", issuerDN)
+			}
+			if err := t.checkPolicy(issuerDN, cur); err != nil {
+				return nil, err
+			}
+			id.IssuerCA = issuerDN
+			return id, nil
+		}
+
+		// Self-signed certificate reached: either directly trusted, or the
+		// chain terminates at an untrusted root.
+		if issuerDN == CertDN(cur) {
+			if t.isDirect(cur) {
+				return id, nil
+			}
+			if err := cur.CheckSignatureFrom(cur); err == nil || cur.CheckSignature(cur.SignatureAlgorithm, cur.RawTBSCertificate, cur.Signature) == nil {
+				return nil, fmt.Errorf("gsi: chain for %q terminates at untrusted root %q", id.Subject, issuerDN)
+			}
+		}
+
+		// Otherwise the issuer must be among the supplied certificates.
+		issuer, err := pickIssuer(cur, bySubject[issuerDN])
+		if err != nil {
+			return nil, fmt.Errorf("gsi: cannot build chain for %q: %w", id.Subject, err)
+		}
+		if issuer.IsCA {
+			if err := cur.CheckSignatureFrom(issuer); err != nil {
+				return nil, fmt.Errorf("gsi: signature of %q by %q invalid: %w",
+					CertDN(cur), issuerDN, err)
+			}
+			if err := t.checkPolicy(issuerDN, cur); err != nil {
+				return nil, err
+			}
+		} else {
+			// Non-CA issuer: only legal for proxy certificates.
+			if err := ValidateProxyLink(cur, issuer, now); err != nil {
+				return nil, err
+			}
+		}
+		cur = issuer
+	}
+	return nil, fmt.Errorf("gsi: chain for %q exceeds maximum depth %d", id.Subject, maxChainDepth)
+}
+
+// checkPolicy enforces a signing policy if (and only if) one is registered
+// for the CA — DCSC-supplied CAs have none and are exempt (§V.A).
+func (t *TrustStore) checkPolicy(ca DN, signed *x509.Certificate) error {
+	p := t.Policy(ca)
+	if p == nil {
+		return nil
+	}
+	subject := CertDN(signed)
+	if !p.Allows(subject) {
+		return fmt.Errorf("gsi: signing policy for %q forbids subject %q", ca, subject)
+	}
+	return nil
+}
+
+// pickIssuer selects the candidate that actually verifies cur's signature.
+func pickIssuer(cur *x509.Certificate, candidates []*x509.Certificate) (*x509.Certificate, error) {
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("no certificate for issuer %q supplied and issuer is not a trust anchor", IssuerDN(cur))
+	}
+	var lastErr error
+	for _, cand := range candidates {
+		var err error
+		if cand.IsCA {
+			err = cur.CheckSignatureFrom(cand)
+		} else {
+			err = cand.CheckSignature(cur.SignatureAlgorithm, cur.RawTBSCertificate, cur.Signature)
+		}
+		if err == nil {
+			return cand, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("no supplied certificate verifies signature: %w", lastErr)
+}
+
+// VerifyRaw parses DER certificates (as provided by crypto/tls's
+// VerifyPeerCertificate callback) and verifies them.
+func (t *TrustStore) VerifyRaw(rawCerts [][]byte, now time.Time) (*VerifiedIdentity, error) {
+	chain := make([]*x509.Certificate, 0, len(rawCerts))
+	for _, raw := range rawCerts {
+		c, err := x509.ParseCertificate(raw)
+		if err != nil {
+			return nil, fmt.Errorf("gsi: unparsable peer certificate: %w", err)
+		}
+		chain = append(chain, c)
+	}
+	return t.Verify(chain, now)
+}

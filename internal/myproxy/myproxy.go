@@ -1,0 +1,277 @@
+// Package myproxy implements the MyProxy logon protocol ([20] in the
+// paper): a TLS service through which a user exchanges site credentials
+// (username/password, OTP, ...) for a short-lived X.509 certificate issued
+// by the site's Online CA. The client generates its key pair locally and
+// sends only the public key; the PAM conversation is tunneled over the
+// session so challenge-response backends work end to end.
+//
+// Wire protocol (CRLF-free, one line per message, over TLS):
+//
+//	C: LOGON <username> <lifetime-seconds>
+//	S: PROMPT <0|1> <text>        (repeated; 0 = secret prompt)
+//	C: RESPONSE <text>
+//	S: ERR <message>              (terminal)  |  S: OK
+//	C: PUBKEY <base64 PKIX DER>
+//	S: CERT <base64 PEM bundle>   (certificate + chain, no key)
+package myproxy
+
+import (
+	"bufio"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/ca"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// DefaultPort is the registered MyProxy port.
+const DefaultPort = 7512
+
+// Server serves MyProxy logons for one online CA.
+type Server struct {
+	// OnlineCA issues the certificates.
+	OnlineCA *ca.OnlineCA
+	// HostCred is the server's TLS identity.
+	HostCred *gsi.Credential
+
+	listener net.Listener
+}
+
+// ListenAndServe starts the server on host:port (0 auto-assigns).
+func (s *Server) ListenAndServe(host *netsim.Host, port int) (net.Addr, error) {
+	if s.OnlineCA == nil || s.HostCred == nil {
+		return nil, errors.New("myproxy: server requires an online CA and host credential")
+	}
+	l, err := host.Listen(port)
+	if err != nil {
+		return nil, err
+	}
+	s.listener = l
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	return l.Addr(), nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *Server) serve(raw net.Conn) {
+	defer raw.Close()
+	tc := tls.Server(raw, gsi.ServerTLSConfigNoClientAuth(s.HostCred))
+	raw.SetDeadline(time.Now().Add(time.Minute))
+	if err := tc.Handshake(); err != nil {
+		return
+	}
+	raw.SetDeadline(time.Time{})
+	br := bufio.NewReader(tc)
+
+	line, err := readLine(br)
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "LOGON" {
+		fmt.Fprintf(tc, "ERR expected LOGON <user> <lifetime>\n")
+		return
+	}
+	username := fields[1]
+	seconds, err := strconv.Atoi(fields[2])
+	if err != nil || seconds < 0 {
+		fmt.Fprintf(tc, "ERR bad lifetime\n")
+		return
+	}
+
+	// Tunnel the PAM conversation to the client.
+	conv := func(prompt string, echo bool) (string, error) {
+		e := "0"
+		if echo {
+			e = "1"
+		}
+		if _, err := fmt.Fprintf(tc, "PROMPT %s %s\n", e, strings.ReplaceAll(prompt, "\n", " ")); err != nil {
+			return "", err
+		}
+		reply, err := readLine(br)
+		if err != nil {
+			return "", err
+		}
+		resp, ok := strings.CutPrefix(reply, "RESPONSE ")
+		if !ok {
+			return "", fmt.Errorf("myproxy: expected RESPONSE, got %q", reply)
+		}
+		return resp, nil
+	}
+
+	// Authenticate before accepting a key: run PAM through the online CA
+	// by doing a two-phase issue — authenticate first so failures are
+	// reported before the client sends its key.
+	acct, err := s.OnlineCA.Auth.Authenticate(username, conv)
+	if err != nil {
+		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	if _, err := fmt.Fprintf(tc, "OK\n"); err != nil {
+		return
+	}
+
+	line, err = readLine(br)
+	if err != nil {
+		return
+	}
+	keyB64, ok := strings.CutPrefix(line, "PUBKEY ")
+	if !ok {
+		fmt.Fprintf(tc, "ERR expected PUBKEY\n")
+		return
+	}
+	keyDER, err := base64.StdEncoding.DecodeString(keyB64)
+	if err != nil {
+		fmt.Fprintf(tc, "ERR bad key encoding\n")
+		return
+	}
+	pub, err := x509.ParsePKIXPublicKey(keyDER)
+	if err != nil {
+		fmt.Fprintf(tc, "ERR unparsable public key\n")
+		return
+	}
+	cred, err := s.OnlineCA.IssuePreauthed(acct.Name, pub, time.Duration(seconds)*time.Second)
+	if err != nil {
+		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
+		return
+	}
+	bundle, err := cred.EncodePEM()
+	if err != nil {
+		fmt.Fprintf(tc, "ERR encoding failure\n")
+		return
+	}
+	fmt.Fprintf(tc, "CERT %s\n", base64.StdEncoding.EncodeToString(bundle))
+}
+
+func readLine(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// LogonOptions configure a client logon.
+type LogonOptions struct {
+	// Lifetime requested for the certificate (server default if zero).
+	Lifetime time.Duration
+	// Trust validates the MyProxy server's certificate ("-b" bootstraps
+	// trust on first use when nil — see Bootstrap).
+	Trust *gsi.TrustStore
+}
+
+// Logon is the myproxy-logon client: it authenticates to the server with
+// the PAM conversation conv and returns a fresh short-lived credential
+// whose private key was generated locally.
+func Logon(host *netsim.Host, addr, username string, conv pam.Conversation, opts LogonOptions) (*gsi.Credential, error) {
+	raw, err := host.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("myproxy: dial %s: %w", addr, err)
+	}
+	defer raw.Close()
+
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if opts.Trust != nil {
+		cfg = gsi.ClientTLSConfig(nil, opts.Trust)
+	} else {
+		// -b / bootstrap mode: accept the server's certificate on first
+		// use (the GCMU client install does this, then pins the CA).
+		cfg.InsecureSkipVerify = true
+	}
+	tc := tls.Client(raw, cfg)
+	raw.SetDeadline(time.Now().Add(time.Minute))
+	if err := tc.Handshake(); err != nil {
+		return nil, fmt.Errorf("myproxy: handshake: %w", err)
+	}
+	raw.SetDeadline(time.Time{})
+	br := bufio.NewReader(tc)
+
+	if _, err := fmt.Fprintf(tc, "LOGON %s %d\n", username, int(opts.Lifetime/time.Second)); err != nil {
+		return nil, err
+	}
+	for {
+		line, err := readLine(br)
+		if err != nil {
+			return nil, fmt.Errorf("myproxy: %w", err)
+		}
+		switch {
+		case strings.HasPrefix(line, "PROMPT "):
+			rest := strings.TrimPrefix(line, "PROMPT ")
+			echoStr, prompt, _ := strings.Cut(rest, " ")
+			resp, err := conv(prompt, echoStr == "1")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := fmt.Fprintf(tc, "RESPONSE %s\n", resp); err != nil {
+				return nil, err
+			}
+		case line == "OK":
+			return finishLogon(tc, br)
+		case strings.HasPrefix(line, "ERR "):
+			return nil, fmt.Errorf("myproxy: %s", strings.TrimPrefix(line, "ERR "))
+		default:
+			return nil, fmt.Errorf("myproxy: unexpected server message %q", line)
+		}
+	}
+}
+
+func finishLogon(tc *tls.Conn, br *bufio.Reader) (*gsi.Credential, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	pubDER, err := x509.MarshalPKIXPublicKey(&key.PublicKey)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(tc, "PUBKEY %s\n", base64.StdEncoding.EncodeToString(pubDER)); err != nil {
+		return nil, err
+	}
+	line, err := readLine(br)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(line, "ERR ") {
+		return nil, fmt.Errorf("myproxy: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	certB64, ok := strings.CutPrefix(line, "CERT ")
+	if !ok {
+		return nil, fmt.Errorf("myproxy: unexpected server message %q", line)
+	}
+	bundle, err := base64.StdEncoding.DecodeString(certB64)
+	if err != nil {
+		return nil, err
+	}
+	cred, err := gsi.DecodePEM(bundle)
+	if err != nil {
+		return nil, err
+	}
+	cred.Key = key
+	return cred, nil
+}

@@ -1,0 +1,315 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBufferedBytes bounds how much written-but-unread data one direction of
+// a connection may hold, modelling TCP flow control: a writer outpacing its
+// reader eventually blocks.
+const maxBufferedBytes = 8 << 20
+
+// chunk is a span of bytes plus the simulated time at which it arrives at
+// the receiver.
+type chunk struct {
+	data []byte
+	at   time.Time
+}
+
+// pipeHalf is one direction of a connection: written by one end, read by
+// the other. Delivery times are computed by the stream shaper at write time.
+type pipeHalf struct {
+	mu        sync.Mutex
+	buf       []chunk
+	buffered  int
+	shaper    *streamShaper
+	wclosed   bool          // writer called CloseWrite/Close
+	dead      bool          // hard-closed; reads fail immediately
+	dataReady chan struct{} // signalled when data or EOF becomes available
+	spaceFree chan struct{} // signalled when buffer space frees up
+}
+
+func newPipeHalf(s *streamShaper) *pipeHalf {
+	return &pipeHalf{
+		shaper:    s,
+		dataReady: make(chan struct{}, 1),
+		spaceFree: make(chan struct{}, 1),
+	}
+}
+
+func signal(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// write appends p with a computed delivery time. It blocks (until deadline)
+// while the buffer is full, and also blocks until the bytes have finished
+// *transmitting* (not propagating), which paces the writer at the link rate.
+// Hysteresis: once the buffer fills, the writer waits for a meaningful
+// amount of space before resuming, so steady-state chunks never degrade
+// into slivers (which would make per-chunk costs dominate).
+func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
+	total := 0
+	for len(p) > 0 {
+		want := len(p)
+		if want > maxBufferedBytes/4 {
+			want = maxBufferedBytes / 4
+		}
+		h.mu.Lock()
+		for maxBufferedBytes-h.buffered < want && !h.wclosed && !h.dead {
+			h.mu.Unlock()
+			if err := waitSignal(h.spaceFree, deadline); err != nil {
+				return total, err
+			}
+			h.mu.Lock()
+		}
+		if h.wclosed || h.dead {
+			h.mu.Unlock()
+			return total, net.ErrClosed
+		}
+		n := len(p)
+		if room := maxBufferedBytes - h.buffered; n > room {
+			n = room
+		}
+		now := time.Now()
+		at := now
+		if h.shaper != nil {
+			at = h.shaper.deliveryTime(n, now)
+		}
+		data := make([]byte, n)
+		copy(data, p[:n])
+		h.buf = append(h.buf, chunk{data: data, at: at})
+		h.buffered += n
+		h.mu.Unlock()
+		signal(h.dataReady)
+		total += n
+		p = p[n:]
+		// Pace the writer: it regains control once transmission (finish
+		// time minus one-way propagation) completes.
+		if h.shaper != nil {
+			sendDone := at.Add(-h.shaper.oneWay)
+			if d := time.Until(sendDone); d > 0 {
+				if !deadline.IsZero() && sendDone.After(deadline) {
+					time.Sleep(time.Until(deadline))
+					return total, os.ErrDeadlineExceeded
+				}
+				time.Sleep(d)
+			}
+		}
+	}
+	return total, nil
+}
+
+// read pops delivered bytes into p, blocking until data is available (and
+// has arrived, per its delivery timestamp) or the writer side is closed.
+func (h *pipeHalf) read(p []byte, deadline time.Time) (int, error) {
+	for {
+		h.mu.Lock()
+		if h.dead {
+			h.mu.Unlock()
+			return 0, net.ErrClosed
+		}
+		if len(h.buf) > 0 {
+			c := &h.buf[0]
+			wait := time.Until(c.at)
+			if wait > 0 {
+				h.mu.Unlock()
+				if !deadline.IsZero() && c.at.After(deadline) {
+					time.Sleep(time.Until(deadline))
+					return 0, os.ErrDeadlineExceeded
+				}
+				time.Sleep(wait)
+				continue
+			}
+			// Coalesce: drain as many *delivered* chunks as fit in p, so
+			// large reads are not limited to one chunk per call.
+			n := 0
+			now := time.Now()
+			for n < len(p) && len(h.buf) > 0 {
+				c := &h.buf[0]
+				if c.at.After(now) {
+					break
+				}
+				m := copy(p[n:], c.data)
+				n += m
+				if m == len(c.data) {
+					h.buf = h.buf[1:]
+				} else {
+					c.data = c.data[m:]
+				}
+			}
+			h.buffered -= n
+			h.mu.Unlock()
+			signal(h.spaceFree)
+			return n, nil
+		}
+		if h.wclosed {
+			h.mu.Unlock()
+			return 0, io.EOF
+		}
+		h.mu.Unlock()
+		if err := waitSignal(h.dataReady, deadline); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// closeWrite marks the writer side done; readers drain then see EOF.
+func (h *pipeHalf) closeWrite() {
+	h.mu.Lock()
+	h.wclosed = true
+	h.mu.Unlock()
+	signal(h.dataReady)
+	signal(h.spaceFree)
+}
+
+// hardClose tears the direction down; pending and future reads fail.
+func (h *pipeHalf) hardClose() {
+	h.mu.Lock()
+	h.wclosed = true
+	h.dead = true
+	h.buf = nil
+	h.buffered = 0
+	h.mu.Unlock()
+	signal(h.dataReady)
+	signal(h.spaceFree)
+}
+
+func waitSignal(ch chan struct{}, deadline time.Time) error {
+	if deadline.IsZero() {
+		<-ch
+		return nil
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return os.ErrDeadlineExceeded
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-t.C:
+		return os.ErrDeadlineExceeded
+	}
+}
+
+// Conn is one end of a simulated connection. It implements net.Conn.
+type Conn struct {
+	rd, wr     *pipeHalf
+	local      net.Addr
+	remote     net.Addr
+	mu         sync.Mutex
+	rdeadline  time.Time
+	wdeadline  time.Time
+	closedOnce sync.Once
+	closed     atomic.Bool
+	peer       *Conn
+}
+
+// newConnPair builds both ends of a connection crossing the given link.
+// Each direction gets its own stream shaper (full-duplex link usage).
+func newConnPair(lk *link, tr Transport, dialerAddr, listenerAddr net.Addr) (*Conn, *Conn) {
+	aToB := newPipeHalf(lk.newStreamShaper(tr))
+	bToA := newPipeHalf(lk.newStreamShaper(tr))
+	a := &Conn{rd: bToA, wr: aToB, local: dialerAddr, remote: listenerAddr}
+	b := &Conn{rd: aToB, wr: bToA, local: listenerAddr, remote: dialerAddr}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	c.mu.Lock()
+	dl := c.rdeadline
+	c.mu.Unlock()
+	n, err := c.rd.read(p, dl)
+	if err != nil && err != io.EOF {
+		err = &net.OpError{Op: "read", Net: "sim", Source: c.local, Addr: c.remote, Err: err}
+	}
+	return n, err
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dl := c.wdeadline
+	c.mu.Unlock()
+	n, err := c.wr.write(p, dl)
+	if err != nil {
+		err = &net.OpError{Op: "write", Net: "sim", Source: c.local, Addr: c.remote, Err: err}
+	}
+	return n, err
+}
+
+// Close shuts down both directions of this end. The peer sees EOF after
+// draining already-delivered data, like a TCP FIN.
+func (c *Conn) Close() error {
+	c.closedOnce.Do(func() {
+		c.closed.Store(true)
+		c.wr.closeWrite()
+		c.rd.hardClose()
+	})
+	return nil
+}
+
+// CloseWrite half-closes the connection (TCP shutdown(SHUT_WR)): the peer
+// reads EOF after the buffered data, while this end can still read. GridFTP
+// stream mode uses this to signal end-of-file on data channels.
+func (c *Conn) CloseWrite() error {
+	c.wr.closeWrite()
+	return nil
+}
+
+// Abort tears the connection down without draining, so the peer's pending
+// reads fail immediately (a TCP RST). The fault-injection harness uses this
+// to kill in-flight transfers.
+func (c *Conn) Abort() {
+	c.closed.Store(true)
+	c.wr.hardClose()
+	c.rd.hardClose()
+	if c.peer != nil {
+		c.peer.rd.hardClose()
+		c.peer.wr.hardClose()
+	}
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.local }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.remote }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdeadline, c.wdeadline = t, t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdeadline = t
+	c.mu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wdeadline = t
+	c.mu.Unlock()
+	return nil
+}

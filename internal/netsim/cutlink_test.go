@@ -1,0 +1,89 @@
+package netsim
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+func TestCutLinkAbortsAndBlocksDials(t *testing.T) {
+	nw := NewNetwork()
+	l, err := nw.Listen("b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- c.(*Conn)
+	}()
+	c, err := nw.Dial("a", "b:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	nw.CutLink("a", "b")
+
+	// Both ends must see hard errors immediately.
+	buf := make([]byte, 1)
+	if _, err := c.Read(buf); err == nil || err == io.EOF {
+		t.Fatalf("dialer read after cut: %v", err)
+	}
+	if _, err := srv.Read(buf); err == nil || err == io.EOF {
+		t.Fatalf("listener read after cut: %v", err)
+	}
+	// New dials fail while down.
+	if _, err := nw.Dial("a", "b:1"); err == nil {
+		t.Fatal("dial across cut link succeeded")
+	}
+	// Restore: dialing works again.
+	nw.RestoreLink("a", "b")
+	go func() {
+		c2, err := l.Accept()
+		if err == nil {
+			c2.Write([]byte{1})
+			c2.Close()
+		}
+	}()
+	c2, err := nw.Dial("a", "b:1")
+	if err != nil {
+		t.Fatalf("dial after restore: %v", err)
+	}
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c2, buf); err != nil {
+		t.Fatalf("read after restore: %v", err)
+	}
+	c2.Close()
+}
+
+func TestCutLinkDoesNotAffectOtherLinks(t *testing.T) {
+	nw := NewNetwork()
+	l, _ := nw.Listen("b", 1)
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+	nw.CutLink("x", "b") // unrelated pair
+	c, err := nw.Dial("a", "b:1")
+	if err != nil {
+		t.Fatalf("unrelated cut affected a-b: %v", err)
+	}
+	c.Write([]byte("hi"))
+	buf := make([]byte, 2)
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}

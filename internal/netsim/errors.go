@@ -1,0 +1,10 @@
+package netsim
+
+import "errors"
+
+var (
+	errAddrInUse       = errors.New("address already in use")
+	errConnRefused     = errors.New("connection refused")
+	errHostUnreachable = errors.New("no route to host")
+	errClosed          = errors.New("use of closed network connection")
+)

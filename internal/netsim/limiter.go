@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// limiter is a virtual-finish-time rate limiter. reserve(n) returns the
+// wall-clock time at which n bytes finish transmitting at the configured
+// rate, serialized after all previously reserved bytes. Composing two
+// limiters (per-stream and shared-link) by taking the max of their finish
+// times models a stream that is capped individually while also sharing the
+// link with its siblings.
+type limiter struct {
+	mu   sync.Mutex
+	rate float64 // bytes per second; <= 0 means unlimited
+	free time.Time
+}
+
+func newLimiter(rate float64) *limiter {
+	return &limiter{rate: rate}
+}
+
+// reserve books n bytes and returns their transmission-finish time.
+func (l *limiter) reserve(n int, now time.Time) time.Time {
+	if l == nil || l.rate <= 0 {
+		return now
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := l.free
+	if start.Before(now) {
+		start = now
+	}
+	dur := time.Duration(float64(n) / l.rate * float64(time.Second))
+	l.free = start.Add(dur)
+	return l.free
+}
+
+// link holds the shared shaping state for one host pair.
+type link struct {
+	params LinkParams
+	shared *limiter // aggregate bandwidth shared by all streams
+
+	mu    sync.Mutex
+	down  bool
+	conns []*Conn // live connections crossing this link
+}
+
+func newLink(p LinkParams) *link {
+	l := &link{params: p}
+	if p.Bandwidth > 0 {
+		l.shared = newLimiter(p.Bandwidth)
+	}
+	return l
+}
+
+// register tracks a connection for fault injection; it returns false when
+// the link is down (dial must fail).
+func (l *link) register(c *Conn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return false
+	}
+	// Prune closed connections occasionally so long-lived links do not
+	// accumulate dead entries.
+	if len(l.conns) > 256 {
+		live := l.conns[:0]
+		for _, old := range l.conns {
+			if !old.closed.Load() {
+				live = append(live, old)
+			}
+		}
+		l.conns = live
+	}
+	l.conns = append(l.conns, c)
+	return true
+}
+
+// cut marks the link down and aborts every live connection on it.
+func (l *link) cut() {
+	l.mu.Lock()
+	l.down = true
+	conns := l.conns
+	l.conns = nil
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.Abort()
+	}
+}
+
+// restore brings the link back up.
+func (l *link) restore() {
+	l.mu.Lock()
+	l.down = false
+	l.mu.Unlock()
+}
+
+func (l *link) isDown() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// newStreamShaper creates the per-stream shaping state for a new connection
+// crossing this link. TCP streams are capped at the window/Mathis bound;
+// UDT (rate-based) streams see only the shared link bandwidth.
+func (l *link) newStreamShaper(tr Transport) *streamShaper {
+	s := &streamShaper{link: l, oneWay: l.params.RTT / 2}
+	if tr == TransportUDT {
+		return s
+	}
+	if cap := l.params.StreamCap(); cap > 0 && !isInf(cap) {
+		s.stream = newLimiter(cap)
+	}
+	return s
+}
+
+func isInf(f float64) bool { return f > 1e30 }
+
+// streamShaper computes delivery times for one direction of one stream.
+type streamShaper struct {
+	link   *link
+	stream *limiter
+	oneWay time.Duration
+}
+
+// deliveryTime reserves n bytes on both the stream and the shared link and
+// returns when the last byte arrives at the receiver.
+func (s *streamShaper) deliveryTime(n int, now time.Time) time.Time {
+	t := now
+	if s.stream != nil {
+		if ft := s.stream.reserve(n, now); ft.After(t) {
+			t = ft
+		}
+	}
+	if s.link != nil && s.link.shared != nil {
+		if ft := s.link.shared.reserve(n, now); ft.After(t) {
+			t = ft
+		}
+	}
+	return t.Add(s.oneWay)
+}

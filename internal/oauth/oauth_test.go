@@ -1,0 +1,130 @@
+package oauth
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/ca"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/pam"
+)
+
+func oauthEnv(t *testing.T) (*netsim.Network, *Server, string, *gsi.TrustStore) {
+	t.Helper()
+	signing, err := gsi.NewCA("/O=Grid/OU=siteA/CN=CA", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := pam.NewLDAPDirectory("dc=siteA")
+	dir.AddEntry("alice", "s3cret")
+	accounts := pam.NewAccountDB()
+	accounts.Add(pam.Account{Name: "alice"})
+	stack := pam.NewStack("oauth", accounts, pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}})
+	online := ca.New(signing, stack, "/O=Grid/OU=siteA")
+	hostCred, err := signing.Issue(gsi.IssueOptions{Subject: "/O=Grid/OU=siteA/CN=oauth-host", Lifetime: time.Hour, Host: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := netsim.NewNetwork()
+	srv := NewServer(online, hostCred)
+	srv.RegisterClient(Client{ID: "globusonline", Secret: "go-secret"})
+	addr, err := srv.ListenAndServe(nw.Host("siteA"), DefaultPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	trust := gsi.NewTrustStore()
+	trust.AddCA(signing.Certificate())
+	return nw, srv, "https://" + addr.String(), trust
+}
+
+func TestOAuthFullFlow(t *testing.T) {
+	nw, _, base, trust := oauthEnv(t)
+	goClient := Client{ID: "globusonline", Secret: "go-secret"}
+
+	// Third party (Globus Online, on its own host) starts authorization.
+	goHTTP := HTTPClient(nw.Host("globusonline"), trust)
+	session, err := Authorize(goHTTP, base, goClient.ID, "xyz-state")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The USER logs in directly at the site — from the user's own host.
+	userHTTP := HTTPClient(nw.Host("laptop"), trust)
+	code, err := Login(userHTTP, base, session, "alice", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Third party exchanges the code; password never crossed its host.
+	cred, err := ExchangeCode(goHTTP, base, goClient, code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.DN() != "/O=Grid/OU=siteA/CN=alice" {
+		t.Fatalf("issued DN %q", cred.DN())
+	}
+	if cred.Key == nil {
+		t.Fatal("credential missing key")
+	}
+	if _, err := trust.Verify(cred.FullChain(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOAuthWrongPassword(t *testing.T) {
+	nw, _, base, trust := oauthEnv(t)
+	hc := HTTPClient(nw.Host("laptop"), trust)
+	session, err := Authorize(hc, base, "globusonline", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Login(hc, base, session, "alice", "wrong"); err == nil ||
+		!strings.Contains(err.Error(), "authentication failed") {
+		t.Fatalf("want auth failure, got %v", err)
+	}
+}
+
+func TestOAuthCodeSingleUse(t *testing.T) {
+	nw, _, base, trust := oauthEnv(t)
+	goClient := Client{ID: "globusonline", Secret: "go-secret"}
+	hc := HTTPClient(nw.Host("go"), trust)
+	session, _ := Authorize(hc, base, goClient.ID, "s")
+	code, err := Login(hc, base, session, "alice", "s3cret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExchangeCode(hc, base, goClient, code); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExchangeCode(hc, base, goClient, code); err == nil {
+		t.Fatal("code replay accepted")
+	}
+}
+
+func TestOAuthRejectsBadClients(t *testing.T) {
+	nw, _, base, trust := oauthEnv(t)
+	hc := HTTPClient(nw.Host("go"), trust)
+	if _, err := Authorize(hc, base, "unknown-client", "s"); err == nil {
+		t.Fatal("unknown client accepted")
+	}
+	session, _ := Authorize(hc, base, "globusonline", "s")
+	code, _ := Login(hc, base, session, "alice", "s3cret")
+	if _, err := ExchangeCode(hc, base, Client{ID: "globusonline", Secret: "wrong"}, code); err == nil {
+		t.Fatal("wrong client secret accepted")
+	}
+}
+
+func TestOAuthSessionSingleUse(t *testing.T) {
+	nw, _, base, trust := oauthEnv(t)
+	hc := HTTPClient(nw.Host("go"), trust)
+	session, _ := Authorize(hc, base, "globusonline", "s")
+	if _, err := Login(hc, base, session, "alice", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Login(hc, base, session, "alice", "s3cret"); err == nil {
+		t.Fatal("session replay accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Package pam implements a Pluggable Authentication Modules facility in
+// the spirit of OSF RFC 86.0, which GCMU's MyProxy Online CA uses to tie
+// certificate issuance to a site's existing identity domain (LDAP, NIS,
+// RADIUS, one-time passwords) — step 2 of the paper's Fig 3 workflow.
+//
+// A Stack is the analog of an /etc/pam.d service file: an ordered list of
+// modules with required / requisite / sufficient / optional control flags.
+// Modules talk to the applicant through a Conversation, so challenge-
+// response schemes (OTP, RADIUS access-challenge) work as well as plain
+// passwords.
+package pam
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common sentinel errors.
+var (
+	// ErrAuthFailed is returned when a module positively rejects the user.
+	ErrAuthFailed = errors.New("pam: authentication failure")
+	// ErrUnknownUser is returned when the module has no record of the user.
+	ErrUnknownUser = errors.New("pam: unknown user")
+	// ErrIgnore signals the module has no opinion (treated as pass for
+	// optional modules, failure for required ones).
+	ErrIgnore = errors.New("pam: ignore")
+	// ErrLocked is returned when the account is administratively locked.
+	ErrLocked = errors.New("pam: account locked")
+)
+
+// Conversation lets modules interact with the applicant: prompt for a
+// password, an OTP code, etc. echo=false indicates a secret prompt.
+type Conversation func(prompt string, echo bool) (string, error)
+
+// PasswordConv adapts a fixed password to the Conversation interface —
+// what the myproxy-logon client uses after reading the password once.
+func PasswordConv(password string) Conversation {
+	return func(prompt string, echo bool) (string, error) {
+		return password, nil
+	}
+}
+
+// Module authenticates users for a service.
+type Module interface {
+	// Name identifies the module in configuration and error messages.
+	Name() string
+	// Authenticate verifies the user, prompting through conv as needed.
+	Authenticate(service, username string, conv Conversation) error
+}
+
+// Control is the stack-entry control flag, with standard PAM semantics.
+type Control int
+
+const (
+	// Required: failure marks the stack failed but later modules still run.
+	Required Control = iota
+	// Requisite: failure aborts the stack immediately.
+	Requisite
+	// Sufficient: success short-circuits the stack (if nothing failed yet).
+	Sufficient
+	// Optional: result ignored unless it is the only module.
+	Optional
+)
+
+// String implements fmt.Stringer.
+func (c Control) String() string {
+	switch c {
+	case Required:
+		return "required"
+	case Requisite:
+		return "requisite"
+	case Sufficient:
+		return "sufficient"
+	case Optional:
+		return "optional"
+	}
+	return fmt.Sprintf("control(%d)", int(c))
+}
+
+// Entry is one line of a PAM service configuration.
+type Entry struct {
+	Control Control
+	Module  Module
+}
+
+// Stack is an ordered module list for one service, plus the account
+// database consulted after authentication.
+type Stack struct {
+	Service  string
+	Entries  []Entry
+	Accounts *AccountDB
+}
+
+// NewStack builds a stack for a service backed by the given account DB.
+func NewStack(service string, accounts *AccountDB, entries ...Entry) *Stack {
+	return &Stack{Service: service, Entries: entries, Accounts: accounts}
+}
+
+// Authenticate runs the stack with standard control-flag semantics and, on
+// success, resolves the local account.
+func (s *Stack) Authenticate(username string, conv Conversation) (*Account, error) {
+	if len(s.Entries) == 0 {
+		return nil, fmt.Errorf("pam: service %q has no modules configured", s.Service)
+	}
+	var failed error
+	for _, e := range s.Entries {
+		err := e.Module.Authenticate(s.Service, username, conv)
+		switch e.Control {
+		case Required:
+			if err != nil && !errors.Is(err, ErrIgnore) && failed == nil {
+				failed = moduleErr(e.Module, err)
+			}
+		case Requisite:
+			if err != nil && !errors.Is(err, ErrIgnore) {
+				return nil, moduleErr(e.Module, err)
+			}
+		case Sufficient:
+			if err == nil && failed == nil {
+				return s.resolve(username)
+			}
+		case Optional:
+			// Result ignored.
+		}
+	}
+	if failed != nil {
+		return nil, failed
+	}
+	return s.resolve(username)
+}
+
+func (s *Stack) resolve(username string) (*Account, error) {
+	if s.Accounts == nil {
+		return &Account{Name: username}, nil
+	}
+	acct, err := s.Accounts.Lookup(username)
+	if err != nil {
+		return nil, err
+	}
+	if acct.Locked {
+		return nil, ErrLocked
+	}
+	return acct, nil
+}
+
+func moduleErr(m Module, err error) error {
+	return fmt.Errorf("pam: module %s: %w", m.Name(), err)
+}
+
+// Account is a local user account (the paper's "local user id" the GridFTP
+// server runs requests as after the authorization callout).
+type Account struct {
+	Name   string
+	UID    int
+	Home   string
+	Locked bool
+}
+
+// AccountDB is a thread-safe local account database (an /etc/passwd
+// analog).
+type AccountDB struct {
+	mu      sync.RWMutex
+	byName  map[string]*Account
+	nextUID int
+}
+
+// NewAccountDB returns an empty account database.
+func NewAccountDB() *AccountDB {
+	return &AccountDB{byName: make(map[string]*Account), nextUID: 1000}
+}
+
+// Add creates an account; UID 0 auto-assigns, empty Home defaults to
+// /home/<name>.
+func (db *AccountDB) Add(a Account) *Account {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if a.UID == 0 {
+		db.nextUID++
+		a.UID = db.nextUID
+	}
+	if a.Home == "" {
+		a.Home = "/home/" + a.Name
+	}
+	cp := a
+	db.byName[a.Name] = &cp
+	return &cp
+}
+
+// Lookup finds an account by name.
+func (db *AccountDB) Lookup(name string) (*Account, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	a, ok := db.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	cp := *a
+	return &cp, nil
+}
+
+// SetLocked flips the account lock flag.
+func (db *AccountDB) SetLocked(name string, locked bool) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	a, ok := db.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownUser, name)
+	}
+	a.Locked = locked
+	return nil
+}
+
+// Names returns all account names (unordered).
+func (db *AccountDB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.byName))
+	for n := range db.byName {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package pam
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func ldapStack(t *testing.T) (*Stack, *LDAPDirectory, *AccountDB) {
+	t.Helper()
+	dir := NewLDAPDirectory("dc=siteA,dc=org")
+	dir.AddEntry("alice", "s3cret")
+	accounts := NewAccountDB()
+	accounts.Add(Account{Name: "alice"})
+	stack := NewStack("myproxy", accounts, Entry{Required, &LDAPModule{Dir: dir}})
+	return stack, dir, accounts
+}
+
+func TestLDAPStackSuccess(t *testing.T) {
+	stack, _, _ := ldapStack(t)
+	acct, err := stack.Authenticate("alice", PasswordConv("s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.Name != "alice" || acct.UID == 0 || acct.Home != "/home/alice" {
+		t.Fatalf("account %+v", acct)
+	}
+}
+
+func TestLDAPStackWrongPassword(t *testing.T) {
+	stack, _, _ := ldapStack(t)
+	if _, err := stack.Authenticate("alice", PasswordConv("wrong")); !errors.Is(err, ErrAuthFailed) {
+		t.Fatalf("want ErrAuthFailed, got %v", err)
+	}
+}
+
+func TestLDAPStackUnknownUser(t *testing.T) {
+	stack, _, _ := ldapStack(t)
+	if _, err := stack.Authenticate("mallory", PasswordConv("s3cret")); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("want ErrUnknownUser, got %v", err)
+	}
+}
+
+func TestLockedAccountRejectedAfterAuth(t *testing.T) {
+	stack, _, accounts := ldapStack(t)
+	accounts.SetLocked("alice", true)
+	if _, err := stack.Authenticate("alice", PasswordConv("s3cret")); !errors.Is(err, ErrLocked) {
+		t.Fatalf("want ErrLocked, got %v", err)
+	}
+	accounts.SetLocked("alice", false)
+	if _, err := stack.Authenticate("alice", PasswordConv("s3cret")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNISModule(t *testing.T) {
+	maps := NewNISMaps("siteB")
+	maps.AddUser("bob", "hunter2")
+	accounts := NewAccountDB()
+	accounts.Add(Account{Name: "bob"})
+	stack := NewStack("myproxy", accounts, Entry{Required, &NISModule{Maps: maps}})
+	if _, err := stack.Authenticate("bob", PasswordConv("hunter2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stack.Authenticate("bob", PasswordConv("hunter3")); err == nil {
+		t.Fatal("wrong NIS password accepted")
+	}
+}
+
+func TestRADIUSModule(t *testing.T) {
+	srv := NewRADIUSServer("nas-secret")
+	srv.AddUser("carol", "pw")
+	accounts := NewAccountDB()
+	accounts.Add(Account{Name: "carol"})
+	stack := NewStack("myproxy", accounts, Entry{Required, &RADIUSModule{Server: srv, Secret: "nas-secret"}})
+	if _, err := stack.Authenticate("carol", PasswordConv("pw")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stack.Authenticate("carol", PasswordConv("nope")); err == nil {
+		t.Fatal("wrong RADIUS password accepted")
+	}
+	// Wrong shared secret on the NAS side.
+	bad := NewStack("myproxy", accounts, Entry{Required, &RADIUSModule{Server: srv, Secret: "wrong"}})
+	if _, err := bad.Authenticate("carol", PasswordConv("pw")); err == nil {
+		t.Fatal("wrong shared secret accepted")
+	}
+}
+
+func TestOTPSingleUse(t *testing.T) {
+	auth := NewOTPAuthority()
+	auth.Enroll("dave", []byte("seed-material"))
+	code, err := auth.NextCode("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Verify("dave", code); err != nil {
+		t.Fatal(err)
+	}
+	if err := auth.Verify("dave", code); err == nil {
+		t.Fatal("OTP code replay accepted")
+	}
+	// Next code still works.
+	code2, _ := auth.NextCode("dave")
+	if code2 == code {
+		t.Fatal("consecutive OTP codes identical")
+	}
+	if err := auth.Verify("dave", code2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOTPWindowSkip(t *testing.T) {
+	auth := NewOTPAuthority()
+	auth.Enroll("eve", []byte("seed"))
+	auth.NextCode("eve") // generated but never used
+	code, _ := auth.NextCode("eve")
+	if err := auth.Verify("eve", code); err != nil {
+		t.Fatalf("code within look-ahead window rejected: %v", err)
+	}
+}
+
+func TestOTPModuleViaStack(t *testing.T) {
+	auth := NewOTPAuthority()
+	auth.Enroll("dave", []byte("seed"))
+	accounts := NewAccountDB()
+	accounts.Add(Account{Name: "dave"})
+	stack := NewStack("myproxy", accounts, Entry{Required, &OTPModule{Authority: auth}})
+	code, _ := auth.NextCode("dave")
+	if _, err := stack.Authenticate("dave", PasswordConv(code)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stack.Authenticate("dave", PasswordConv("00000000")); err == nil {
+		t.Fatal("bogus OTP accepted")
+	}
+}
+
+// failModule always fails; okModule always succeeds.
+type failModule struct{}
+
+func (failModule) Name() string { return "pam_deny" }
+func (failModule) Authenticate(string, string, Conversation) error {
+	return ErrAuthFailed
+}
+
+type okModule struct{}
+
+func (okModule) Name() string                                    { return "pam_permit" }
+func (okModule) Authenticate(string, string, Conversation) error { return nil }
+
+func TestControlSemantics(t *testing.T) {
+	accounts := NewAccountDB()
+	accounts.Add(Account{Name: "u"})
+	cases := []struct {
+		name    string
+		entries []Entry
+		wantOK  bool
+	}{
+		{"required fail", []Entry{{Required, failModule{}}, {Optional, okModule{}}}, false},
+		{"requisite fail aborts", []Entry{{Requisite, failModule{}}, {Sufficient, okModule{}}}, false},
+		{"sufficient short-circuits", []Entry{{Sufficient, okModule{}}, {Required, failModule{}}}, true},
+		{"sufficient after required failure does not rescue", []Entry{{Required, failModule{}}, {Sufficient, okModule{}}}, false},
+		{"optional failure ignored", []Entry{{Optional, failModule{}}, {Required, okModule{}}}, true},
+		{"all required pass", []Entry{{Required, okModule{}}, {Required, okModule{}}}, true},
+	}
+	for _, tc := range cases {
+		stack := NewStack("svc", accounts, tc.entries...)
+		_, err := stack.Authenticate("u", PasswordConv("x"))
+		if (err == nil) != tc.wantOK {
+			t.Errorf("%s: err=%v wantOK=%v", tc.name, err, tc.wantOK)
+		}
+	}
+}
+
+func TestEmptyStackFails(t *testing.T) {
+	stack := NewStack("svc", NewAccountDB())
+	if _, err := stack.Authenticate("u", PasswordConv("x")); err == nil {
+		t.Fatal("empty stack must fail closed")
+	}
+}
+
+func TestAccountDB(t *testing.T) {
+	db := NewAccountDB()
+	a := db.Add(Account{Name: "x"})
+	b := db.Add(Account{Name: "y"})
+	if a.UID == b.UID {
+		t.Fatal("UIDs must be distinct")
+	}
+	if _, err := db.Lookup("z"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("want ErrUnknownUser, got %v", err)
+	}
+	got, err := db.Lookup("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lookup returns a copy: mutating it must not affect the DB.
+	got.Locked = true
+	again, _ := db.Lookup("x")
+	if again.Locked {
+		t.Fatal("Lookup must return a copy")
+	}
+	if len(db.Names()) != 2 {
+		t.Fatalf("Names: %v", db.Names())
+	}
+}
+
+func TestHashVerifyProperty(t *testing.T) {
+	f := func(secret, other string) bool {
+		h := hashSecret(newSalt(), secret)
+		if !verifySecret(h, secret) {
+			return false
+		}
+		if other != secret && verifySecret(h, other) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifySecretMalformed(t *testing.T) {
+	for _, bad := range []string{"", "plain", "$1$x$y", "$5$saltonly"} {
+		if verifySecret(bad, "x") {
+			t.Errorf("verifySecret(%q) accepted", bad)
+		}
+	}
+}
+
+func TestControlString(t *testing.T) {
+	for c, want := range map[Control]string{
+		Required: "required", Requisite: "requisite",
+		Sufficient: "sufficient", Optional: "optional",
+	} {
+		if c.String() != want {
+			t.Errorf("%v", c)
+		}
+	}
+}

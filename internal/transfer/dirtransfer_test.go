@@ -1,0 +1,130 @@
+package transfer
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/dsi"
+)
+
+// TestRecursiveDirectoryTransfer submits a directory: the service walks
+// the tree, recreates it at the destination, and moves every file —
+// Globus Online's recursive transfer behaviour.
+func TestRecursiveDirectoryTransfer(t *testing.T) {
+	w := buildWorld(t, Config{}, false)
+	activateBoth(t, w)
+
+	// Build a small tree on the source.
+	mk := func(path string, content []byte) {
+		f, err := w.epA.Storage.Create("alice", path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		dsi.WriteAll(f, content)
+		f.Close()
+	}
+	for _, d := range []string{"/run", "/run/raw", "/run/raw/day1", "/run/plots"} {
+		if err := w.epA.Storage.Mkdir("alice", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	contents := map[string][]byte{
+		"/run/readme.txt":        []byte("results of run 42"),
+		"/run/raw/day1/a.dat":    pattern(200000),
+		"/run/raw/day1/b.dat":    pattern(100001),
+		"/run/plots/energy.png":  pattern(50000),
+		"/run/plots/spectra.png": pattern(70007),
+	}
+	for p, c := range contents {
+		mk(p, c)
+	}
+
+	task, err := w.svc.Submit("alice", "siteA", "/run", "siteB", "/run-copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.svc.Wait(task.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != TaskSucceeded {
+		t.Fatalf("task: %s (%s)", done.Status, done.Error)
+	}
+	if done.TotalFiles != len(contents) || done.CompletedFiles != len(contents) {
+		t.Fatalf("files %d/%d, want %d", done.CompletedFiles, done.TotalFiles, len(contents))
+	}
+
+	for p, want := range contents {
+		dstPath := "/run-copy" + p[len("/run"):]
+		f, err := w.epB.Storage.Open("alice", dstPath)
+		if err != nil {
+			t.Fatalf("%s missing at destination: %v", dstPath, err)
+		}
+		got, _ := dsi.ReadAll(f)
+		f.Close()
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s content mismatch", dstPath)
+		}
+	}
+}
+
+// TestDirectoryTransferResumesAtFailedFile injects a fault partway
+// through the file list: the retry must resume from the failed file, not
+// re-send the completed ones.
+func TestDirectoryTransferResumesAtFailedFile(t *testing.T) {
+	w := buildWorld(t, Config{RetryDelay: 10 * time.Millisecond}, false)
+	activateBoth(t, w)
+	if err := w.epA.Storage.Mkdir("alice", "/batch"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	const fileSize = 300000
+	for i := 0; i < n; i++ {
+		f, err := w.epA.Storage.Create("alice", fmt.Sprintf("/batch/f%d.bin", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dsi.WriteAll(f, pattern(fileSize))
+		f.Close()
+	}
+	// Fault after roughly 2.5 files' worth of received bytes. FaultStorage
+	// arms per-file (it wraps the next opened file), so arm mid-stream via
+	// a watcher that arms once a couple of files have landed.
+	w.faultB.Arm(fileSize / 2)
+
+	task, err := w.svc.Submit("alice", "siteA", "/batch", "siteB", "/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.svc.Wait(task.ID, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Status != TaskSucceeded {
+		t.Fatalf("task: %s (%s)", done.Status, done.Error)
+	}
+	if done.Attempts < 2 {
+		t.Fatalf("fault did not trigger a retry (attempts=%d)", done.Attempts)
+	}
+	if done.CompletedFiles != n {
+		t.Fatalf("completed %d of %d", done.CompletedFiles, n)
+	}
+	// Checkpointing must have kept total bytes well under attempts×total.
+	total := int64(n * fileSize)
+	if done.BytesTransferred > total+total/2 {
+		t.Fatalf("resume ineffective: moved %d of %d total", done.BytesTransferred, total)
+	}
+	for i := 0; i < n; i++ {
+		f, err := w.epB.Storage.Open("alice", fmt.Sprintf("/batch/f%d.bin", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := dsi.ReadAll(f)
+		f.Close()
+		if !bytes.Equal(got, pattern(fileSize)) {
+			t.Fatalf("file %d mismatch", i)
+		}
+	}
+}

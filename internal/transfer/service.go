@@ -1,0 +1,552 @@
+// Package transfer implements a Globus Online-style hosted transfer
+// service (§VI of the paper): a third-party mediator that activates GCMU
+// endpoints on the user's behalf (username/password via MyProxy, or OAuth
+// so the password never reaches the service), runs third-party GridFTP
+// transfers between them, auto-tunes transfer options, monitors progress
+// via restart markers, and on failure reauthenticates with the stored
+// short-term certificate and restarts from the last checkpoint.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/myproxy"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/oauth"
+	"gridftp.dev/instant/internal/pam"
+)
+
+// Endpoint is a GridFTP endpoint registered with the service (what a GCMU
+// install publishes when the admin opts in, §VI.B).
+type Endpoint struct {
+	Name        string
+	GridFTPAddr string
+	MyProxyAddr string
+	OAuthAddr   string // optional; enables password-less activation
+	// Trust holds the endpoint's CA root(s), published at registration.
+	Trust *gsi.TrustStore
+	// CADN is the endpoint CA's DN, used to detect cross-CA transfers.
+	CADN gsi.DN
+}
+
+// activation is a live short-term credential for (endpoint, user).
+type activation struct {
+	cred    *gsi.Credential
+	expires time.Time
+}
+
+// TaskStatus is a transfer task's lifecycle state.
+type TaskStatus string
+
+// Task states.
+const (
+	TaskQueued    TaskStatus = "QUEUED"
+	TaskActive    TaskStatus = "ACTIVE"
+	TaskSucceeded TaskStatus = "SUCCEEDED"
+	TaskFailed    TaskStatus = "FAILED"
+)
+
+// Task is one submitted transfer.
+type Task struct {
+	ID       string
+	User     string
+	Src, Dst string // endpoint names
+	SrcPath  string
+	DstPath  string
+
+	Status   TaskStatus
+	Attempts int
+	// TotalFiles/CompletedFiles track directory (recursive) transfers;
+	// a single-file task has TotalFiles == 1.
+	TotalFiles     int
+	CompletedFiles int
+	// BytesTransferred counts bytes moved across all attempts; with
+	// checkpointing, retries move only the missing remainder.
+	BytesTransferred int64
+	FileSize         int64
+	Error            string
+	Markers          []gridftp.Range
+	Started          time.Time
+	Finished         time.Time
+	Parallelism      int
+}
+
+// Config tunes the service.
+type Config struct {
+	// RetryLimit is the number of attempts per task (default 5).
+	RetryLimit int
+	// RetryDelay between attempts (default 50ms in simulation).
+	RetryDelay time.Duration
+	// DisableCheckpointing makes retries start from byte 0 — the
+	// ablation that quantifies what restart markers buy (E6).
+	DisableCheckpointing bool
+	// DisableAutotune pins parallelism to 1 instead of sizing it to the
+	// file (ablation).
+	DisableAutotune bool
+}
+
+// Service is the hosted transfer service.
+type Service struct {
+	host *netsim.Host
+	cfg  Config
+
+	mu          sync.Mutex
+	endpoints   map[string]*Endpoint
+	activations map[string]*activation // key: endpoint + "\x00" + user
+	tasks       map[string]*Task
+	nextTask    int
+
+	// PasswordsSeen counts secrets that flowed through the service —
+	// the quantity OAuth activation drives to zero (§VI, Fig 7).
+	PasswordsSeen int
+}
+
+// NewService creates a transfer service living on the given host.
+func NewService(host *netsim.Host, cfg Config) *Service {
+	if cfg.RetryLimit == 0 {
+		cfg.RetryLimit = 5
+	}
+	if cfg.RetryDelay == 0 {
+		cfg.RetryDelay = 50 * time.Millisecond
+	}
+	return &Service{
+		host:        host,
+		cfg:         cfg,
+		endpoints:   make(map[string]*Endpoint),
+		activations: make(map[string]*activation),
+		tasks:       make(map[string]*Task),
+	}
+}
+
+// RegisterEndpoint publishes an endpoint to the service.
+func (s *Service) RegisterEndpoint(ep Endpoint) error {
+	if ep.Name == "" || ep.GridFTPAddr == "" || ep.Trust == nil {
+		return errors.New("transfer: endpoint needs name, gridftp address, and trust")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.endpoints[ep.Name] = &ep
+	return nil
+}
+
+// Endpoints lists registered endpoint names.
+func (s *Service) Endpoints() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.endpoints))
+	for name := range s.endpoints {
+		out = append(out, name)
+	}
+	return out
+}
+
+func (s *Service) endpoint(name string) (*Endpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("transfer: unknown endpoint %q", name)
+	}
+	return ep, nil
+}
+
+func actKey(endpoint, user string) string { return endpoint + "\x00" + user }
+
+// ActivateWithPassword activates an endpoint with the user's site
+// username/password: the service passes them to the endpoint's MyProxy CA
+// and stores the returned short-term certificate (Fig 6). The password
+// does flow through the service — "Globus Online does not store the
+// password", and neither do we, but it is *seen*, which PasswordsSeen
+// records.
+func (s *Service) ActivateWithPassword(endpointName, user, password string) error {
+	ep, err := s.endpoint(endpointName)
+	if err != nil {
+		return err
+	}
+	if ep.MyProxyAddr == "" {
+		return fmt.Errorf("transfer: endpoint %q has no MyProxy service", endpointName)
+	}
+	s.mu.Lock()
+	s.PasswordsSeen++
+	s.mu.Unlock()
+	cred, err := myproxy.Logon(s.host, ep.MyProxyAddr, user, pam.PasswordConv(password),
+		myproxy.LogonOptions{Trust: ep.Trust})
+	if err != nil {
+		return fmt.Errorf("transfer: activation of %q failed: %w", endpointName, err)
+	}
+	s.storeActivation(endpointName, user, cred)
+	return nil
+}
+
+// UserLoginFunc represents the user's own browser completing the site
+// login during OAuth activation: it receives the OAuth base URL and
+// session id, performs the login directly with the site, and returns the
+// authorization code. The service never handles the password.
+type UserLoginFunc func(oauthBaseURL, session string) (code string, err error)
+
+// OAuthClientID is the client identity GCMU OAuth servers know us by.
+var OAuthClient = oauth.Client{ID: "globusonline", Secret: "globusonline-secret"}
+
+// ActivateWithOAuth activates an endpoint via its OAuth server: the user
+// logs in at the site (login callback), the service exchanges the
+// resulting code for a short-term certificate (Fig 7).
+func (s *Service) ActivateWithOAuth(endpointName, user string, login UserLoginFunc) error {
+	ep, err := s.endpoint(endpointName)
+	if err != nil {
+		return err
+	}
+	if ep.OAuthAddr == "" {
+		return fmt.Errorf("transfer: endpoint %q has no OAuth service", endpointName)
+	}
+	base := "https://" + ep.OAuthAddr
+	hc := oauth.HTTPClient(s.host, ep.Trust)
+	session, err := oauth.Authorize(hc, base, OAuthClient.ID, "activate-"+endpointName)
+	if err != nil {
+		return err
+	}
+	code, err := login(base, session)
+	if err != nil {
+		return fmt.Errorf("transfer: user login failed: %w", err)
+	}
+	cred, err := oauth.ExchangeCode(hc, base, OAuthClient, code)
+	if err != nil {
+		return err
+	}
+	if cred.DN().LastCN() != user {
+		return fmt.Errorf("transfer: OAuth credential is for %q, not %q", cred.DN().LastCN(), user)
+	}
+	s.storeActivation(endpointName, user, cred)
+	return nil
+}
+
+func (s *Service) storeActivation(endpointName, user string, cred *gsi.Credential) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.activations[actKey(endpointName, user)] = &activation{
+		cred:    cred,
+		expires: cred.Cert.NotAfter,
+	}
+}
+
+// Activated reports whether (endpoint, user) holds a live activation.
+func (s *Service) Activated(endpointName, user string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.activations[actKey(endpointName, user)]
+	return ok && time.Now().Before(a.expires)
+}
+
+func (s *Service) credentialFor(endpointName, user string) (*gsi.Credential, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.activations[actKey(endpointName, user)]
+	if !ok || time.Now().After(a.expires) {
+		return nil, fmt.Errorf("transfer: endpoint %q not activated for %q", endpointName, user)
+	}
+	return a.cred, nil
+}
+
+// Submit queues a transfer task and starts processing it asynchronously.
+func (s *Service) Submit(user, srcEndpoint, srcPath, dstEndpoint, dstPath string) (*Task, error) {
+	if _, err := s.endpoint(srcEndpoint); err != nil {
+		return nil, err
+	}
+	if _, err := s.endpoint(dstEndpoint); err != nil {
+		return nil, err
+	}
+	if !s.Activated(srcEndpoint, user) || !s.Activated(dstEndpoint, user) {
+		return nil, errors.New("transfer: both endpoints must be activated first")
+	}
+	s.mu.Lock()
+	s.nextTask++
+	task := &Task{
+		ID:      fmt.Sprintf("task-%06d", s.nextTask),
+		User:    user,
+		Src:     srcEndpoint,
+		SrcPath: srcPath,
+		Dst:     dstEndpoint,
+		DstPath: dstPath,
+		Status:  TaskQueued,
+		Started: time.Now(),
+	}
+	s.tasks[task.ID] = task
+	snapshot := *task
+	s.mu.Unlock()
+	go s.run(task)
+	// Return a snapshot: the live task is mutated concurrently by run().
+	return &snapshot, nil
+}
+
+// Wait blocks until the task reaches a terminal state (or the timeout).
+func (s *Service) Wait(taskID string, timeout time.Duration) (*Task, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		t, err := s.TaskStatus(taskID)
+		if err != nil {
+			return nil, err
+		}
+		if t.Status == TaskSucceeded || t.Status == TaskFailed {
+			return t, nil
+		}
+		if time.Now().After(deadline) {
+			return t, fmt.Errorf("transfer: task %s still %s after %v", taskID, t.Status, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TaskStatus returns a snapshot of the task.
+func (s *Service) TaskStatus(taskID string) (*Task, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("transfer: unknown task %q", taskID)
+	}
+	cp := *t
+	cp.Markers = append([]gridftp.Range(nil), t.Markers...)
+	return &cp, nil
+}
+
+func (s *Service) update(task *Task, f func(*Task)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(task)
+}
+
+// autotune picks the parallelism Globus Online would (§VI.A: "the ability
+// to automatically tune GridFTP transfer options for high performance").
+func (s *Service) autotune(size int64) int {
+	if s.cfg.DisableAutotune {
+		return 1
+	}
+	switch {
+	case size >= 100<<20:
+		return 8
+	case size >= 10<<20:
+		return 4
+	case size >= 1<<20:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// run drives one task to completion, retrying from restart markers.
+// transferPlan is the durable state a task carries across attempts: the
+// file list (one empty-string entry for a single-file task), the index of
+// the first incomplete file, and the restart markers for it.
+type transferPlan struct {
+	files   []string
+	next    int
+	markers []gridftp.Range
+}
+
+func (s *Service) run(task *Task) {
+	s.update(task, func(t *Task) { t.Status = TaskActive })
+	var plan *transferPlan
+	var lastErr error
+	for attempt := 1; attempt <= s.cfg.RetryLimit; attempt++ {
+		s.update(task, func(t *Task) { t.Attempts = attempt })
+		err := s.attempt(task, &plan)
+		if err == nil {
+			s.update(task, func(t *Task) {
+				t.Status = TaskSucceeded
+				t.Finished = time.Now()
+				t.Error = ""
+			})
+			return
+		}
+		lastErr = err
+		if s.cfg.DisableCheckpointing && plan != nil {
+			plan.markers = nil
+		}
+		time.Sleep(s.cfg.RetryDelay)
+	}
+	s.update(task, func(t *Task) {
+		t.Status = TaskFailed
+		t.Finished = time.Now()
+		t.Error = lastErr.Error()
+	})
+}
+
+// attempt reauthenticates to both endpoints with the stored short-term
+// certificates (§VI.B) and advances the plan as far as it can: building it
+// on the first attempt (single file, or a recursive directory walk) and
+// then transferring the remaining files third-party, resuming the first
+// incomplete file from its restart markers.
+func (s *Service) attempt(task *Task, planp **transferPlan) error {
+	srcEP, err := s.endpoint(task.Src)
+	if err != nil {
+		return err
+	}
+	dstEP, err := s.endpoint(task.Dst)
+	if err != nil {
+		return err
+	}
+	srcCred, err := s.credentialFor(task.Src, task.User)
+	if err != nil {
+		return err
+	}
+	dstCred, err := s.credentialFor(task.Dst, task.User)
+	if err != nil {
+		return err
+	}
+	srcProxy, err := gsi.NewProxy(srcCred, gsi.ProxyOptions{})
+	if err != nil {
+		return err
+	}
+	dstProxy, err := gsi.NewProxy(dstCred, gsi.ProxyOptions{})
+	if err != nil {
+		return err
+	}
+	srcClient, err := gridftp.Dial(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust)
+	if err != nil {
+		return err
+	}
+	defer srcClient.Close()
+	dstClient, err := gridftp.Dial(s.host, dstEP.GridFTPAddr, dstProxy, dstEP.Trust)
+	if err != nil {
+		return err
+	}
+	defer dstClient.Close()
+	if err := srcClient.Delegate(2 * time.Hour); err != nil {
+		return err
+	}
+	if err := dstClient.Delegate(2 * time.Hour); err != nil {
+		return err
+	}
+	dstClient.SetMarkerInterval(25 * time.Millisecond)
+
+	if *planp == nil {
+		plan, err := s.buildPlan(task, srcClient, dstClient)
+		if err != nil {
+			return err
+		}
+		*planp = plan
+		s.update(task, func(t *Task) { t.TotalFiles = len(plan.files) })
+	}
+	plan := *planp
+
+	baseOpts := gridftp.ThirdPartyOptions{}
+	// Cross-CA endpoints need DCSC (§V): hand the source credential to
+	// the destination so both ends present/accept the same identity.
+	if task.crossCA(srcEP, dstEP) {
+		baseOpts.DCSC = srcProxy
+		baseOpts.DCSCTarget = gridftp.DCSCDest
+	}
+
+	for plan.next < len(plan.files) {
+		rel := plan.files[plan.next]
+		srcPath, dstPath := task.SrcPath, task.DstPath
+		if rel != "" {
+			srcPath = strings.TrimSuffix(task.SrcPath, "/") + "/" + rel
+			dstPath = strings.TrimSuffix(task.DstPath, "/") + "/" + rel
+		}
+		size, err := srcClient.Size(srcPath)
+		if err != nil {
+			return err
+		}
+		par := s.autotune(size)
+		s.update(task, func(t *Task) { t.FileSize = size; t.Parallelism = par })
+		if err := srcClient.SetParallelism(par); err != nil {
+			return err
+		}
+		if err := dstClient.SetParallelism(par); err != nil {
+			return err
+		}
+
+		opts := baseOpts
+		opts.Restart = plan.markers
+		latest := plan.markers
+		opts.OnMarker = func(rs []gridftp.Range) { latest = rs }
+		already := gridftp.FromRanges(plan.markers).Covered()
+
+		_, terr := gridftp.ThirdParty(srcClient, srcPath, dstClient, dstPath, opts)
+		if terr != nil {
+			movedNow := gridftp.FromRanges(latest).Covered() - already
+			if movedNow < 0 {
+				movedNow = 0
+			}
+			plan.markers = latest
+			s.update(task, func(t *Task) {
+				t.BytesTransferred += movedNow
+				t.Markers = latest
+			})
+			return terr
+		}
+		plan.next++
+		plan.markers = nil
+		s.update(task, func(t *Task) {
+			t.BytesTransferred += size - already
+			t.CompletedFiles = plan.next
+			t.Markers = nil
+		})
+	}
+	return nil
+}
+
+// buildPlan resolves the task source into a file list, creating the
+// destination directory tree for recursive transfers.
+func (s *Service) buildPlan(task *Task, src, dst *gridftp.Client) (*transferPlan, error) {
+	entry, err := src.StatEntry(task.SrcPath)
+	if err != nil {
+		return nil, err
+	}
+	if !entry.IsDir {
+		return &transferPlan{files: []string{""}}, nil
+	}
+	files, err := src.Walk(task.SrcPath)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+	// Create the destination tree (root plus every parent directory).
+	dirs := map[string]bool{strings.TrimSuffix(task.DstPath, "/"): true}
+	for _, rel := range files {
+		d := strings.TrimSuffix(task.DstPath, "/")
+		parts := strings.Split(rel, "/")
+		for _, p := range parts[:len(parts)-1] {
+			d += "/" + p
+			dirs[d] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted) // parents before children
+	for _, d := range sorted {
+		if err := dst.Mkdir(d); err != nil {
+			// Tolerate pre-existing directories.
+			if _, serr := dst.StatEntry(d); serr != nil {
+				return nil, err
+			}
+		}
+	}
+	return &transferPlan{files: files}, nil
+}
+
+// crossCA reports whether the two endpoints live in different trust
+// domains (the destination does not trust the source's CA).
+func (t *Task) crossCA(src, dst *Endpoint) bool {
+	if src.CADN == "" || dst.CADN == "" {
+		return false
+	}
+	if src.CADN == dst.CADN {
+		return false
+	}
+	for _, dn := range dst.Trust.CAs() {
+		if dn == src.CADN {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,215 @@
+// Package xio is the Globus XIO analog (§II.A [8] of the paper): a
+// protocol-independent I/O layer in which connections are produced by
+// composable driver stacks. A Stack is an ordered list of Drivers, each of
+// which wraps the connection handed up by the driver below it — e.g.
+// [tcp] for a cleartext data channel, [tcp, tls] for a private one, or
+// [tcp, telemetry, tls] when instrumentation is wanted. GridFTP's DTP
+// builds its data channels through this interface, which is what lets the
+// same transfer code run over cleartext, TLS, or simulated-WAN transports.
+package xio
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Driver transforms a connection, e.g. by adding TLS or instrumentation.
+type Driver interface {
+	// Name identifies the driver in stack descriptions.
+	Name() string
+	// WrapClient wraps an outbound (connecting-side) connection.
+	WrapClient(conn net.Conn) (net.Conn, error)
+	// WrapServer wraps an inbound (accepting-side) connection.
+	WrapServer(conn net.Conn) (net.Conn, error)
+}
+
+// Stack is an ordered driver list; drivers apply bottom-up.
+type Stack []Driver
+
+// String renders the stack as "tcp|telemetry|tls".
+func (s Stack) String() string {
+	out := "tcp"
+	for _, d := range s {
+		out += "|" + d.Name()
+	}
+	return out
+}
+
+// WrapClient applies every driver to an outbound connection.
+func (s Stack) WrapClient(conn net.Conn) (net.Conn, error) {
+	var err error
+	for _, d := range s {
+		conn, err = d.WrapClient(conn)
+		if err != nil {
+			return nil, fmt.Errorf("xio: driver %s: %w", d.Name(), err)
+		}
+	}
+	return conn, nil
+}
+
+// WrapServer applies every driver to an inbound connection.
+func (s Stack) WrapServer(conn net.Conn) (net.Conn, error) {
+	var err error
+	for _, d := range s {
+		conn, err = d.WrapServer(conn)
+		if err != nil {
+			return nil, fmt.Errorf("xio: driver %s: %w", d.Name(), err)
+		}
+	}
+	return conn, nil
+}
+
+// --- TLS driver ---
+
+// TLSDriver performs a TLS handshake with the given configurations.
+type TLSDriver struct {
+	ClientConfig *tls.Config
+	ServerConfig *tls.Config
+	// HandshakeTimeout bounds the handshake; zero means no timeout.
+	HandshakeTimeout time.Duration
+}
+
+// Name implements Driver.
+func (d *TLSDriver) Name() string { return "tls" }
+
+func (d *TLSDriver) handshake(tc *tls.Conn, raw net.Conn) (net.Conn, error) {
+	if d.HandshakeTimeout > 0 {
+		raw.SetDeadline(time.Now().Add(d.HandshakeTimeout))
+		defer raw.SetDeadline(time.Time{})
+	}
+	if err := tc.Handshake(); err != nil {
+		return nil, err
+	}
+	return tc, nil
+}
+
+// WrapClient implements Driver.
+func (d *TLSDriver) WrapClient(conn net.Conn) (net.Conn, error) {
+	if d.ClientConfig == nil {
+		return nil, fmt.Errorf("no client TLS config")
+	}
+	return d.handshake(tls.Client(conn, d.ClientConfig), conn)
+}
+
+// WrapServer implements Driver.
+func (d *TLSDriver) WrapServer(conn net.Conn) (net.Conn, error) {
+	if d.ServerConfig == nil {
+		return nil, fmt.Errorf("no server TLS config")
+	}
+	return d.handshake(tls.Server(conn, d.ServerConfig), conn)
+}
+
+// --- Telemetry driver ---
+
+// Counters holds transfer instrumentation shared across the connections of
+// one stack instance.
+type Counters struct {
+	BytesRead    atomic.Int64
+	BytesWritten atomic.Int64
+	Conns        atomic.Int64
+}
+
+// TelemetryDriver counts bytes and connections flowing through the stack.
+type TelemetryDriver struct {
+	Counters *Counters
+}
+
+// Name implements Driver.
+func (d *TelemetryDriver) Name() string { return "telemetry" }
+
+// WrapClient implements Driver.
+func (d *TelemetryDriver) WrapClient(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+// WrapServer implements Driver.
+func (d *TelemetryDriver) WrapServer(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+func (d *TelemetryDriver) wrap(conn net.Conn) net.Conn {
+	d.Counters.Conns.Add(1)
+	return &countedConn{Conn: conn, c: d.Counters}
+}
+
+type countedConn struct {
+	net.Conn
+	c *Counters
+}
+
+func (c *countedConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.c.BytesRead.Add(int64(n))
+	return n, err
+}
+
+func (c *countedConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.c.BytesWritten.Add(int64(n))
+	return n, err
+}
+
+// CloseWrite forwards half-close when the underlying transport supports it
+// (stream-mode GridFTP signals EOF that way).
+func (c *countedConn) CloseWrite() error {
+	if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return nil
+}
+
+// --- Throttle driver ---
+
+// ThrottleDriver caps connection throughput with a token bucket; it is the
+// XIO analog of a rate-limiting driver and is used by ablation benches.
+type ThrottleDriver struct {
+	// BytesPerSecond is the cap per connection.
+	BytesPerSecond float64
+}
+
+// Name implements Driver.
+func (d *ThrottleDriver) Name() string { return "throttle" }
+
+// WrapClient implements Driver.
+func (d *ThrottleDriver) WrapClient(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+// WrapServer implements Driver.
+func (d *ThrottleDriver) WrapServer(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+func (d *ThrottleDriver) wrap(conn net.Conn) net.Conn {
+	return &throttledConn{Conn: conn, rate: d.BytesPerSecond}
+}
+
+type throttledConn struct {
+	net.Conn
+	rate float64
+	debt time.Duration
+	last time.Time
+}
+
+func (c *throttledConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if c.rate > 0 && n > 0 {
+		now := time.Now()
+		if !c.last.IsZero() {
+			c.debt -= now.Sub(c.last)
+			if c.debt < 0 {
+				c.debt = 0
+			}
+		}
+		c.last = now
+		c.debt += time.Duration(float64(n) / c.rate * float64(time.Second))
+		if c.debt > time.Millisecond {
+			time.Sleep(c.debt)
+			c.last = time.Now()
+			c.debt = 0
+		}
+	}
+	return n, err
+}
+
+func (c *throttledConn) CloseWrite() error {
+	if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return nil
+}

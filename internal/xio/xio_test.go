@@ -1,0 +1,185 @@
+package xio
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+func TestStackString(t *testing.T) {
+	s := Stack{&TelemetryDriver{Counters: &Counters{}}, &TLSDriver{}}
+	if got := s.String(); got != "tcp|telemetry|tls" {
+		t.Fatalf("stack string %q", got)
+	}
+	if got := (Stack{}).String(); got != "tcp" {
+		t.Fatalf("empty stack string %q", got)
+	}
+}
+
+func TestTelemetryCountsBytes(t *testing.T) {
+	counters := &Counters{}
+	stack := Stack{&TelemetryDriver{Counters: counters}}
+	a, b := net.Pipe()
+	ca, err := stack.WrapClient(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := stack.WrapServer(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1000)
+	go func() {
+		ca.Write(payload)
+		ca.Close()
+	}()
+	io.Copy(io.Discard, cb)
+	if got := counters.BytesWritten.Load(); got != 1000 {
+		t.Fatalf("bytes written %d", got)
+	}
+	if got := counters.BytesRead.Load(); got != 1000 {
+		t.Fatalf("bytes read %d", got)
+	}
+	if got := counters.Conns.Load(); got != 2 {
+		t.Fatalf("conns %d", got)
+	}
+}
+
+func TestTLSDriverOverSim(t *testing.T) {
+	ca, err := gsi.NewCA("/O=Grid/CN=CA", 24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := ca.Issue(gsi.IssueOptions{Subject: "/O=Grid/CN=host-a", Lifetime: time.Hour, Host: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.Issue(gsi.IssueOptions{Subject: "/O=Grid/CN=alice", Lifetime: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust := gsi.NewTrustStore()
+	trust.AddCA(ca.Certificate())
+
+	drv := &TLSDriver{
+		ClientConfig: gsi.ClientTLSConfig(user, trust),
+		ServerConfig: gsi.ServerTLSConfig(host, trust),
+	}
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("s", 1)
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		c, err := Stack{drv}.WrapServer(raw)
+		if err != nil {
+			done <- err
+			return
+		}
+		buf := make([]byte, 6)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			done <- err
+			return
+		}
+		c.Write(buf)
+		c.Close()
+		done <- nil
+	}()
+	raw, err := nw.Dial("c", "s:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Stack{drv}.WrapClient(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("secret"))
+	buf := make([]byte, 6)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "secret" {
+		t.Fatalf("echo %q", buf)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLSDriverMissingConfig(t *testing.T) {
+	d := &TLSDriver{}
+	a, _ := net.Pipe()
+	if _, err := d.WrapClient(a); err == nil {
+		t.Fatal("missing client config should fail")
+	}
+	if _, err := d.WrapServer(a); err == nil {
+		t.Fatal("missing server config should fail")
+	}
+}
+
+func TestThrottleDriverCapsRate(t *testing.T) {
+	stack := Stack{&ThrottleDriver{BytesPerSecond: 100 * 1024}}
+	a, b := net.Pipe()
+	ca, _ := stack.WrapClient(a)
+	go io.Copy(io.Discard, b)
+	start := time.Now()
+	payload := bytes.Repeat([]byte("y"), 20*1024)
+	ca.Write(payload)
+	elapsed := time.Since(start)
+	// 20 KiB at 100 KiB/s should take ~200 ms.
+	if elapsed < 150*time.Millisecond {
+		t.Fatalf("throttled write finished in %v, want ~200ms", elapsed)
+	}
+}
+
+func TestStackPropagatesDriverErrors(t *testing.T) {
+	bad := &TLSDriver{} // no configs: always errors
+	stack := Stack{&TelemetryDriver{Counters: &Counters{}}, bad}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	if _, err := stack.WrapClient(a); err == nil {
+		t.Fatal("client error not propagated")
+	}
+	if _, err := stack.WrapServer(b); err == nil {
+		t.Fatal("server error not propagated")
+	}
+}
+
+func TestCountedConnForwardsCloseWrite(t *testing.T) {
+	nw := netsim.NewNetwork()
+	l, _ := nw.Listen("s", 1)
+	defer l.Close()
+	done := make(chan []byte, 1)
+	go func() {
+		c, _ := l.Accept()
+		data, _ := io.ReadAll(c) // returns only when CloseWrite propagates EOF
+		done <- data
+	}()
+	raw, _ := nw.Dial("c", "s:1")
+	counters := &Counters{}
+	wrapped, _ := (Stack{&TelemetryDriver{Counters: counters}}).WrapClient(raw)
+	wrapped.Write([]byte("fin"))
+	if hc, ok := wrapped.(interface{ CloseWrite() error }); ok {
+		hc.CloseWrite()
+	} else {
+		t.Fatal("telemetry wrapper lost CloseWrite")
+	}
+	select {
+	case data := <-done:
+		if string(data) != "fin" {
+			t.Fatalf("%q", data)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EOF never reached the peer")
+	}
+}
