@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	benchreport            # run everything
-//	benchreport -exp e2    # run one experiment (e1..e12, blocksize, cache, autotune, transport)
-//	benchreport -list      # list experiment ids
+//	benchreport                        # run everything
+//	benchreport -exp e2                # run one experiment (e1..e12, blocksize, cache, autotune, transport)
+//	benchreport -list                  # list experiment ids
+//	benchreport -metrics-snapshot f    # render a metrics snapshot file (obs.WriteMetrics format)
 package main
 
 import (
@@ -18,12 +19,22 @@ import (
 	"time"
 
 	"gridftp.dev/instant/internal/experiments"
+	"gridftp.dev/instant/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	snapshot := flag.String("metrics-snapshot", "", "render a metrics snapshot file (as written by obs.WriteMetrics / the -metrics flag) and exit")
 	flag.Parse()
+
+	if *snapshot != "" {
+		if err := renderSnapshot(*snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	byID := experiments.ByID()
 	if *list {
@@ -64,6 +75,40 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// renderSnapshot loads a metrics snapshot (the text format WriteMetrics
+// emits and the -metrics flags of gridftp-server/transfer-service dump)
+// and prints it as an aligned table, one row per metric. A full -metrics
+// dump also carries the span forest after a "# spans" header; that part
+// is not metric lines, so it is split off and echoed verbatim.
+func renderSnapshot(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	text := string(raw)
+	spans := ""
+	if i := strings.Index(text, "# spans\n"); i >= 0 {
+		text, spans = text[:i], text[i+len("# spans\n"):]
+	}
+	metrics, err := obs.ParseSnapshot(strings.NewReader(text))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-48s %14s %16s\n", "kind", "name", "value", "sum")
+	for _, m := range metrics {
+		sum := ""
+		if m.Kind == "histogram" {
+			sum = fmt.Sprintf("%.6f", m.Sum)
+		}
+		fmt.Printf("%-10s %-48s %14d %16s\n", m.Kind, m.Name, m.Value, sum)
+	}
+	fmt.Printf("(%d metrics)\n", len(metrics))
+	if strings.TrimSpace(spans) != "" {
+		fmt.Printf("\nspans:\n%s", spans)
+	}
+	return nil
 }
 
 func runOne(run func() (*experiments.Table, error)) error {

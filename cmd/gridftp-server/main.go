@@ -10,7 +10,7 @@
 // Usage:
 //
 //	gridftp-server [-name siteA] [-user alice] [-password secret]
-//	               [-stripes N] [-selftest] [-oauth]
+//	               [-stripes N] [-selftest] [-oauth] [-verbose] [-metrics]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -31,15 +32,25 @@ func main() {
 	password := flag.String("password", "secret", "site password for the account")
 	selftest := flag.Bool("selftest", true, "run a loopback transfer after startup")
 	withOAuth := flag.Bool("oauth", false, "also start the OAuth server")
+	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
+	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	flag.Parse()
 
-	if err := run(*name, *user, *password, *selftest, *withOAuth); err != nil {
+	o := obs.FromEnv()
+	if *verbose {
+		o = obs.New(os.Stderr, obs.LevelDebug)
+	}
+	err := run(*name, *user, *password, *selftest, *withOAuth, o)
+	if *metrics {
+		fmt.Fprint(os.Stderr, o.DebugSnapshot())
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(name, user, password string, selftest, withOAuth bool) error {
+func run(name, user, password string, selftest, withOAuth bool, o *obs.Obs) error {
 	nw := netsim.NewNetwork()
 
 	dir := pam.NewLDAPDirectory("dc=" + name)
@@ -57,6 +68,7 @@ func run(name, user, password string, selftest, withOAuth bool) error {
 		Auth:      stack,
 		Accounts:  accounts,
 		WithOAuth: withOAuth,
+		Obs:       o,
 	})
 	if err != nil {
 		return err

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	transfer-service [-size 8M] [-fault] [-oauth]
+//	transfer-service [-size 8M] [-fault] [-oauth] [-verbose] [-metrics]
 package main
 
 import (
@@ -22,6 +22,7 @@ import (
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -30,8 +31,18 @@ func main() {
 	sizeStr := flag.String("size", "8M", "transfer size")
 	fault := flag.Bool("fault", false, "inject a receive-side fault at 60% and recover")
 	useOAuth := flag.Bool("oauth", false, "activate endpoints via OAuth instead of passwords")
+	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
+	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	flag.Parse()
-	if err := run(*sizeStr, *fault, *useOAuth); err != nil {
+	o := obs.FromEnv()
+	if *verbose {
+		o = obs.New(os.Stderr, obs.LevelDebug)
+	}
+	err := run(*sizeStr, *fault, *useOAuth, o)
+	if *metrics {
+		fmt.Fprint(os.Stderr, o.DebugSnapshot())
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
@@ -53,7 +64,7 @@ func parseSize(s string) int {
 	return n * mult
 }
 
-func run(sizeStr string, fault, useOAuth bool) error {
+func run(sizeStr string, fault, useOAuth bool, o *obs.Obs) error {
 	size := parseSize(sizeStr)
 	nw := netsim.NewNetwork()
 
@@ -70,6 +81,7 @@ func run(sizeStr string, fault, useOAuth bool) error {
 		ep, err := gcmu.Install(gcmu.Options{
 			Name: name, Host: nw.Host(name), Auth: stack, Accounts: accounts,
 			Storage: faulty, WithOAuth: useOAuth, MarkerInterval: 25 * time.Millisecond,
+			Obs: o,
 		})
 		return ep, faulty, err
 	}
@@ -86,7 +98,7 @@ func run(sizeStr string, fault, useOAuth bool) error {
 	}
 	defer epB.Close()
 
-	svc := transfer.NewService(nw.Host("globusonline"), transfer.Config{RetryDelay: 25 * time.Millisecond})
+	svc := transfer.NewService(nw.Host("globusonline"), transfer.Config{RetryDelay: 25 * time.Millisecond, Obs: o})
 	for _, ep := range []*gcmu.Endpoint{epA, epB} {
 		if err := svc.RegisterEndpoint(transfer.Endpoint{
 			Name: ep.Name, GridFTPAddr: ep.GridFTPAddr, MyProxyAddr: ep.MyProxyAddr,
@@ -155,6 +167,7 @@ func run(sizeStr string, fault, useOAuth bool) error {
 	fmt.Printf("  attempts:        %d\n", done.Attempts)
 	fmt.Printf("  parallelism:     %d (auto-tuned for %s)\n", done.Parallelism, sizeStr)
 	fmt.Printf("  bytes moved:     %d (file %d)\n", done.BytesTransferred, size)
+	fmt.Printf("  perf markers:    %d observed in flight (last total %d bytes)\n", done.PerfMarkers, done.PerfBytes)
 	if done.Attempts > 1 {
 		saved := int64(done.Attempts)*int64(size) - done.BytesTransferred
 		fmt.Printf("  checkpointing:   restart markers avoided resending ~%d bytes\n", saved)

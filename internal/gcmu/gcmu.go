@@ -18,6 +18,7 @@ import (
 	"gridftp.dev/instant/internal/myproxy"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/usagestats"
 )
@@ -47,8 +48,12 @@ type Options struct {
 	MarkerInterval time.Duration
 	// DataTimeout bounds GridFTP waits for data connections.
 	DataTimeout time.Duration
-	// Usage optionally connects the endpoint to a usage-stats collector.
-	Usage *usagestats.Collector
+	// Usage optionally connects the endpoint to a usage-stats sink (a
+	// fleet Collector, a MetricsSink, or a MultiSink of several).
+	Usage usagestats.Sink
+	// Obs receives the endpoint's structured logs, metrics, and spans;
+	// it is passed through to the GridFTP server. Nil disables it.
+	Obs *obs.Obs
 }
 
 // Endpoint is a running GCMU installation.
@@ -74,6 +79,8 @@ type Endpoint struct {
 
 	Accounts *pam.AccountDB
 	Storage  dsi.Storage
+
+	log *obs.Logger
 }
 
 // Install performs the GCMU server installation (§IV.D): it creates the
@@ -143,6 +150,8 @@ func Install(opts Options) (*Endpoint, error) {
 		callout = authz.Chain{callout, opts.LegacyGridmap}
 	}
 
+	log := opts.Obs.Logger().With("component", "gcmu", "endpoint", opts.Name)
+	log.Info("install: site CA created", "dn", string(signing.DN()))
 	ep := &Endpoint{
 		Name:      opts.Name,
 		Host:      opts.Host,
@@ -151,17 +160,24 @@ func Install(opts Options) (*Endpoint, error) {
 		Trust:     trust,
 		Accounts:  opts.Accounts,
 		Storage:   opts.Storage,
+		log:       log,
 	}
 
 	// 5. MyProxy server.
-	ep.MyProxy = &myproxy.Server{OnlineCA: online, HostCred: myproxyCred}
+	ep.MyProxy = &myproxy.Server{OnlineCA: online, HostCred: myproxyCred, Obs: opts.Obs}
 	mpAddr, err := ep.MyProxy.ListenAndServe(opts.Host, myproxy.DefaultPort)
 	if err != nil {
 		return nil, err
 	}
 	ep.MyProxyAddr = mpAddr.String()
+	log.Info("install: myproxy up", "addr", ep.MyProxyAddr)
 
-	// 6. GridFTP server.
+	// 6. GridFTP server. When the endpoint carries an Obs bundle, its
+	// usage reports feed the metrics registry alongside any fleet sink.
+	var metricsSink usagestats.Sink
+	if opts.Obs != nil {
+		metricsSink = usagestats.MetricsSink(opts.Obs.Registry())
+	}
 	srv, err := gridftp.NewServer(opts.Host, gridftp.ServerConfig{
 		HostCred:       gridftpCred,
 		Trust:          trust,
@@ -170,8 +186,9 @@ func Install(opts Options) (*Endpoint, error) {
 		Banner:         fmt.Sprintf("GCMU GridFTP server on %s ready", opts.Name),
 		MarkerInterval: opts.MarkerInterval,
 		DataTimeout:    opts.DataTimeout,
-		Usage:          opts.Usage,
+		Usage:          usagestats.MultiSink(opts.Usage, metricsSink),
 		EndpointName:   opts.Name,
+		Obs:            opts.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -182,6 +199,7 @@ func Install(opts Options) (*Endpoint, error) {
 	}
 	ep.GridFTP = srv
 	ep.GridFTPAddr = gfAddr.String()
+	log.Info("install: gridftp up", "addr", ep.GridFTPAddr)
 
 	// 7. Optional OAuth server (future work in the paper; packaged here).
 	if opts.WithOAuth {
@@ -195,7 +213,12 @@ func Install(opts Options) (*Endpoint, error) {
 			return nil, err
 		}
 		ep.OAuthAddr = oaAddr.String()
+		log.Info("install: oauth up", "addr", ep.OAuthAddr)
 	}
+	if opts.Obs != nil {
+		opts.Obs.Registry().Counter("gcmu.endpoints_installed").Inc()
+	}
+	log.Info("install complete")
 	return ep, nil
 }
 
@@ -210,6 +233,7 @@ func (ep *Endpoint) Close() {
 	if ep.OAuth != nil {
 		ep.OAuth.Close()
 	}
+	ep.log.Info("endpoint closed")
 }
 
 // Logon is the GCMU client path (§IV.E): obtain a short-lived credential

@@ -13,6 +13,7 @@ import (
 	"gridftp.dev/instant/internal/ftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 )
 
 // Client is a GridFTP client protocol interpreter with its own DTP, able
@@ -30,6 +31,16 @@ type Client struct {
 	spec     ChannelSpec
 	restart  []Range
 	markerCB func([]Range)
+	perfCB   func(PerfMarker)
+
+	// obs receives client-side metrics: perf-marker observations feed
+	// gauges/counters so callers can watch a transfer without polling.
+	obs *obs.Obs
+	// perfBytes holds the latest per-stripe byte counts reported by 112
+	// markers for the current transfer; perfSeen counts markers.
+	perfMu    sync.Mutex
+	perfBytes map[int]int64
+	perfSeen  int
 
 	// Active-mode state: a listener on the client host plus pooled
 	// accepted channels; passive-mode state: pooled dialed channels.
@@ -53,6 +64,8 @@ type Client struct {
 type DialOptions struct {
 	// DisableChannelCache turns off data channel reuse across transfers.
 	DisableChannelCache bool
+	// Obs receives client-side metrics and logs (nil = disabled).
+	Obs *obs.Obs
 }
 
 // Dial connects to a GridFTP server at addr from the given simulated host,
@@ -75,6 +88,8 @@ func DialWithOptions(host *netsim.Host, addr string, cred *gsi.Credential, trust
 		trust:         trust,
 		spec:          ChannelSpec{Mode: ModeExtended}.Normalize(),
 		cacheDisabled: opts.DisableChannelCache,
+		obs:           opts.Obs,
+		perfBytes:     make(map[int]int64),
 	}
 	if _, err := c.ctrl.Expect(ftp.CodeReadyForNewUser); err != nil {
 		raw.Close()
@@ -512,21 +527,73 @@ func (c *Client) retire(chans []*dataChannel, ok bool) {
 	}
 }
 
-// handleMarkers parses "111 Range Marker a-b,c-d" preliminary replies.
-func (c *Client) handleMarkers(r ftp.Reply) []Range {
-	if r.Code != ftp.CodeRestartMarker {
-		return nil
+// handlePreliminary dispatches 1xx replies that arrive during a transfer:
+// 111 restart markers (returns the parsed ranges) and 112 performance
+// markers (feeds the perf callback and the client metrics registry).
+func (c *Client) handlePreliminary(r ftp.Reply) []Range {
+	switch r.Code {
+	case ftp.CodeRestartMarker:
+		text := strings.TrimPrefix(r.Lines[0], "Range Marker")
+		ranges, err := ParseRanges(strings.TrimSpace(text))
+		if err != nil {
+			return nil
+		}
+		if c.markerCB != nil {
+			c.markerCB(ranges)
+		}
+		return ranges
+	case CodePerfMarker:
+		if m, ok := ParsePerfMarker(r); ok {
+			c.notePerf(m)
+		}
 	}
-	text := strings.TrimPrefix(r.Lines[0], "Range Marker")
-	ranges, err := ParseRanges(strings.TrimSpace(text))
-	if err != nil {
-		return nil
-	}
-	if c.markerCB != nil {
-		c.markerCB(ranges)
-	}
-	return ranges
+	return nil
 }
+
+// notePerf records one performance marker: latest per-stripe totals,
+// marker count, metrics, and the user callback.
+func (c *Client) notePerf(m PerfMarker) {
+	c.perfMu.Lock()
+	c.perfBytes[m.Stripe] = m.StripeBytes
+	c.perfSeen++
+	var total int64
+	for _, b := range c.perfBytes {
+		total += b
+	}
+	c.perfMu.Unlock()
+	reg := c.obs.Registry()
+	reg.Counter("gridftp.client.perf_markers").Inc()
+	reg.Gauge("gridftp.client.perf_bytes").Set(total)
+	reg.Gauge("gridftp.client.perf_stripes").Set(int64(m.TotalStripes))
+	if c.perfCB != nil {
+		c.perfCB(m)
+	}
+}
+
+// resetPerf clears per-transfer performance state (called when a new
+// transfer command is issued).
+func (c *Client) resetPerf() {
+	c.perfMu.Lock()
+	c.perfBytes = make(map[int]int64)
+	c.perfMu.Unlock()
+}
+
+// PerfSnapshot returns the in-flight progress reported by 112 performance
+// markers for the current (or last) transfer: total bytes across stripes,
+// the number of stripes reporting, and how many markers this session has
+// observed in total.
+func (c *Client) PerfSnapshot() (total int64, stripes, markers int) {
+	c.perfMu.Lock()
+	defer c.perfMu.Unlock()
+	for _, b := range c.perfBytes {
+		total += b
+	}
+	return total, len(c.perfBytes), c.perfSeen
+}
+
+// OnPerf registers a callback receiving in-flight 112 performance markers
+// during transfers.
+func (c *Client) OnPerf(cb func(PerfMarker)) { c.perfCB = cb }
 
 // TransferStats reports what a transfer moved.
 type TransferStats struct {
@@ -554,6 +621,7 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 	}
 
 	start := time.Now()
+	c.resetPerf()
 	var lastMarkers []Range
 	if c.spec.Mode == ModeStream {
 		c.flushPools()
@@ -574,7 +642,11 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 		}
 		sendErr := sendStream(chans[0].sec, src, from, size)
 		closeChannels(chans)
-		r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { lastMarkers = c.handleMarkers(p) })
+		r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) {
+			if ranges := c.handlePreliminary(p); ranges != nil {
+				lastMarkers = ranges
+			}
+		})
 		if sendErr != nil {
 			return &TransferStats{Markers: lastMarkers}, sendErr
 		}
@@ -602,8 +674,14 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 		c.ctrl.ReadFinalReply(nil)
 		return nil, err
 	}
-	sendErr := sendModeE(secConns(chans), src, ranges, c.spec.BlockSize)
-	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { lastMarkers = c.handleMarkers(p) })
+	sent := c.obs.Registry().Counter("gridftp.client.bytes_sent")
+	sendErr := sendModeE(secConns(chans), src, ranges, c.spec.BlockSize,
+		func(stream int, n int64) { sent.Add(n) })
+	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) {
+		if ranges := c.handlePreliminary(p); ranges != nil {
+			lastMarkers = ranges
+		}
+	})
 	switch {
 	case sendErr != nil:
 		closeChannels(chans)
@@ -641,6 +719,7 @@ func (c *Client) GetPartial(path string, off, length int64, dst dsi.File) (*Tran
 
 func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*TransferStats, error) {
 	start := time.Now()
+	c.resetPerf()
 
 	if c.spec.Mode == ModeStream {
 		if err := c.ensureListener(); err != nil {
@@ -749,7 +828,7 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 	}
 	replyCh := make(chan finalReply, 1)
 	go func() {
-		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handleMarkers(p) })
+		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handlePreliminary(p) })
 		replyCh <- finalReply{r, err}
 	}()
 	cancel := make(chan struct{})

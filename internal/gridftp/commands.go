@@ -21,6 +21,7 @@ var featureList = []string{
 	"SPOR",
 	"DCAU",
 	"DCSC P,D",
+	"PERF",
 	"PBSZ",
 	"PROT",
 	"REST STREAM RANGES",

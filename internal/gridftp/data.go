@@ -11,6 +11,7 @@ import (
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/ftp"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/usagestats"
 )
 
@@ -478,7 +479,19 @@ func (sess *session) handleRetr(params string, off, length int64) {
 	start := time.Now()
 	var sendErr error
 	if sess.spec.Mode == ModeExtended {
-		sendErr = sendModeE(secConns(chans), f, ranges, sess.spec.BlockSize)
+		// Emit in-flight 112 performance markers (per-stripe bytes sent)
+		// while the send runs; the final set is flushed before the
+		// completion reply so the last marker carries the end totals.
+		perf := &perfTracker{}
+		perfStop := make(chan struct{})
+		perfDone := make(chan struct{})
+		go func() {
+			defer close(perfDone)
+			perfEmitter(perf, sess.markerInterval(), sess.emitPerf, perfStop)
+		}()
+		sendErr = sendModeE(secConns(chans), f, ranges, sess.spec.BlockSize, perf.add)
+		close(perfStop)
+		<-perfDone
 	} else {
 		from := int64(0)
 		if len(ranges) > 0 {
@@ -618,9 +631,19 @@ func (sess *session) handleStor(params string) {
 			sess.reply(ftp.CodeRestartMarker, "Range Marker "+m)
 		}, stop)
 	}()
-	res := recvModeE(accept, f, received, nil, nil)
+	// Performance markers ride alongside restart markers: restart markers
+	// carry *which ranges* landed (for checkpointing), perf markers carry
+	// *per-stripe throughput counters* (for in-flight monitoring).
+	perf := &perfTracker{}
+	perfDone := make(chan struct{})
+	go func() {
+		defer close(perfDone)
+		perfEmitter(perf, sess.markerInterval(), sess.emitPerf, stop)
+	}()
+	res := recvModeE(accept, f, received, perf.add, nil)
 	close(stop)
 	<-markerDone
+	<-perfDone
 
 	// Any pooled channels the sender declined to reuse are stale: close them.
 	for _, ch := range pooled[pi:] {
@@ -688,7 +711,20 @@ func (sess *session) handleMlsd(params string) {
 	sess.reply(ftp.CodeClosingData, "MLSD complete")
 }
 
+// emitPerf writes one 112 performance marker on the control channel
+// (serialized with all other replies via replyMu).
+func (sess *session) emitPerf(m PerfMarker) {
+	sess.reply(CodePerfMarker, perfMarkerLines(m)...)
+}
+
 func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration) {
+	reg := sess.srv.cfg.Obs.Registry()
+	reg.Counter("gridftp.server.transfers_total").Inc()
+	reg.Counter(obs.Name("gridftp.server.bytes", op)).Add(bytes)
+	reg.Histogram("gridftp.server.transfer_seconds", obs.DefaultDurationBuckets).
+		Observe(dur.Seconds())
+	sess.log.Info("transfer complete",
+		"op", op, "path", path, "bytes", bytes, "dur", dur.Round(time.Microsecond))
 	if sess.srv.cfg.Usage == nil {
 		return
 	}

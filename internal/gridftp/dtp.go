@@ -65,8 +65,10 @@ func (s ChannelSpec) Normalize() ChannelSpec {
 
 // sendModeE streams the given file ranges over the (already secured)
 // connections as MODE E blocks. Connection 0 additionally carries the EOF
-// block announcing how many EODs the receiver should expect.
-func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int) error {
+// block announcing how many EODs the receiver should expect. onBytes, if
+// non-nil, is invoked per sent block with the stream index and byte count
+// (the performance-marker emitter samples the resulting counters).
+func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int, onBytes func(stream int, n int64)) error {
 	if len(conns) == 0 {
 		return errors.New("gridftp: no data connections")
 	}
@@ -113,6 +115,9 @@ func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int) erro
 					errCh <- fmt.Errorf("gridftp: send block at %d: %w", j.off, err)
 					return
 				}
+				if onBytes != nil {
+					onBytes(i, int64(j.n))
+				}
 			}
 			if err := WriteBlock(conn, &Block{Desc: DescEOD}); err != nil {
 				errCh <- fmt.Errorf("gridftp: send EOD: %w", err)
@@ -138,11 +143,13 @@ type recvResult struct {
 // recvModeE accepts data connections from accept and reassembles blocks
 // into f. It stops accepting once the EOF block announces the stream
 // count; the stop channel passed to accept closes when the transfer has
-// concluded so a blocked accept can bail out. onProgress, if non-nil, is
-// invoked whenever new data lands (the marker emitter samples it). A close
-// of cancel (may be nil) aborts the receive — used when the control
-// channel reports failure before or during the transfer.
-func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, existing *RangeSet, onProgress func(), cancel <-chan struct{}) recvResult {
+// concluded so a blocked accept can bail out. onBytes, if non-nil, is
+// invoked whenever new data lands, with the stream index (accept order)
+// and byte count — the performance-marker emitter samples the resulting
+// per-stripe counters. A close of cancel (may be nil) aborts the receive —
+// used when the control channel reports failure before or during the
+// transfer.
+func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, existing *RangeSet, onBytes func(stream int, n int64), cancel <-chan struct{}) recvResult {
 	received := existing
 	if received == nil {
 		received = NewRangeSet()
@@ -195,7 +202,7 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 	}
 
 	var wg sync.WaitGroup
-	handle := func(conn net.Conn) {
+	handle := func(stream int, conn net.Conn) {
 		defer wg.Done()
 		// Backstop: the first block must arrive within a bounded window,
 		// so a silent channel (peer gone, protocol desync) cannot park
@@ -233,8 +240,8 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 					return
 				}
 				received.Add(int64(b.Offset), int64(b.Offset)+int64(b.Count))
-				if onProgress != nil {
-					onProgress()
+				if onBytes != nil {
+					onBytes(stream, int64(b.Count))
 				}
 			}
 			if b.EOD() {
@@ -277,11 +284,12 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 				mu.Unlock()
 				return
 			}
+			stream := accepted
 			accepted++
 			activeConns = append(activeConns, conn)
 			wg.Add(1)
 			mu.Unlock()
-			go handle(conn)
+			go handle(stream, conn)
 		}
 	}()
 

@@ -1,0 +1,174 @@
+package gridftp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/ftp"
+)
+
+// This file implements the GridFTP performance-marker extension: during a
+// MODE E transfer the server emits preliminary 112 replies on the control
+// channel carrying per-stripe bytes-transferred, so a client (or the
+// hosted transfer service, §VI) can watch a transfer's progress in flight
+// instead of learning the total after the fact. Wire form follows the
+// classic Globus rendering:
+//
+//	112-Perf Marker
+//	 Timestamp: 1328000000.250
+//	 Stripe Index: 0
+//	 Stripe Bytes Transferred: 1048576
+//	 Total Stripe Count: 2
+//	112 End
+//
+// Each data stream of this implementation is one stripe: a striped server
+// contributes one stream per stripe node, a parallel single-host transfer
+// one per TCP stream.
+
+// PerfMarker is one parsed 112 performance marker.
+type PerfMarker struct {
+	// Timestamp is when the sender sampled the counters.
+	Timestamp time.Time
+	// Stripe is the stripe (data stream) index this marker reports.
+	Stripe int
+	// StripeBytes is the cumulative bytes moved on that stripe.
+	StripeBytes int64
+	// TotalStripes is how many stripes the transfer uses.
+	TotalStripes int
+}
+
+// perfMarkerLines renders the marker as reply lines for a multi-line 112
+// reply (ftp.Conn.WriteReply adds the code framing).
+func perfMarkerLines(m PerfMarker) []string {
+	ts := float64(m.Timestamp.UnixNano()) / float64(time.Second)
+	return []string{
+		"Perf Marker",
+		fmt.Sprintf("Timestamp: %.3f", ts),
+		fmt.Sprintf("Stripe Index: %d", m.Stripe),
+		fmt.Sprintf("Stripe Bytes Transferred: %d", m.StripeBytes),
+		fmt.Sprintf("Total Stripe Count: %d", m.TotalStripes),
+		"End",
+	}
+}
+
+// ParsePerfMarker parses a 112 preliminary reply into a PerfMarker. ok is
+// false for replies that are not performance markers.
+func ParsePerfMarker(r ftp.Reply) (PerfMarker, bool) {
+	if r.Code != ftp.CodeRestartMarker+1 || len(r.Lines) == 0 ||
+		!strings.HasPrefix(strings.TrimSpace(r.Lines[0]), "Perf Marker") {
+		return PerfMarker{}, false
+	}
+	var m PerfMarker
+	seen := 0
+	for _, line := range r.Lines[1:] {
+		key, val, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		val = strings.TrimSpace(val)
+		switch strings.TrimSpace(key) {
+		case "Timestamp":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				m.Timestamp = time.Unix(0, int64(f*float64(time.Second)))
+			}
+		case "Stripe Index":
+			if n, err := strconv.Atoi(val); err == nil {
+				m.Stripe = n
+				seen++
+			}
+		case "Stripe Bytes Transferred":
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+				m.StripeBytes = n
+				seen++
+			}
+		case "Total Stripe Count":
+			if n, err := strconv.Atoi(val); err == nil {
+				m.TotalStripes = n
+				seen++
+			}
+		}
+	}
+	return m, seen == 3
+}
+
+// CodePerfMarker is the preliminary reply code for performance markers.
+const CodePerfMarker = ftp.CodeRestartMarker + 1 // 112
+
+// perfTracker accumulates per-stripe byte counts during a transfer. Data
+// goroutines call add on every block; the emitter samples snapshots. The
+// stripe set grows dynamically because MODE E receivers learn the stream
+// count only from the EOF block.
+type perfTracker struct {
+	mu    sync.Mutex
+	bytes []int64
+}
+
+func (t *perfTracker) add(stripe int, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	for stripe >= len(t.bytes) {
+		t.bytes = append(t.bytes, 0)
+	}
+	t.bytes[stripe] += n
+	t.mu.Unlock()
+}
+
+// snapshot returns a copy of the per-stripe counters.
+func (t *perfTracker) snapshot() []int64 {
+	t.mu.Lock()
+	out := append([]int64(nil), t.bytes...)
+	t.mu.Unlock()
+	return out
+}
+
+// total returns the sum across stripes.
+func (t *perfTracker) total() int64 {
+	var sum int64
+	for _, b := range t.snapshot() {
+		sum += b
+	}
+	return sum
+}
+
+// perfEmitter periodically renders the tracker through emit (one call per
+// stripe that moved since the last tick) until stop closes, then emits a
+// final complete set so the last marker always carries the end totals.
+func perfEmitter(t *perfTracker, interval time.Duration, emit func(PerfMarker), stop <-chan struct{}) {
+	if interval <= 0 {
+		<-stop
+		return
+	}
+	var last []int64
+	send := func(final bool) {
+		cur := t.snapshot()
+		for i, b := range cur {
+			changed := i >= len(last) || last[i] != b
+			if b == 0 || (!changed && !final) {
+				continue
+			}
+			emit(PerfMarker{
+				Timestamp:    time.Now(),
+				Stripe:       i,
+				StripeBytes:  b,
+				TotalStripes: len(cur),
+			})
+		}
+		last = cur
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			send(false)
+		case <-stop:
+			send(true)
+			return
+		}
+	}
+}

@@ -109,8 +109,8 @@ func (c *Client) sendOne(src dsi.File) error {
 		c.ctrl.ReadFinalReply(nil)
 		return err
 	}
-	sendErr := sendModeE(secConns(chans), src, []Range{{0, size}}, c.spec.BlockSize)
-	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handleMarkers(p) })
+	sendErr := sendModeE(secConns(chans), src, []Range{{0, size}}, c.spec.BlockSize, nil)
+	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handlePreliminary(p) })
 	switch {
 	case sendErr != nil:
 		closeChannels(chans)

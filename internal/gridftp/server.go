@@ -4,9 +4,9 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gridftp.dev/instant/internal/authz"
@@ -14,6 +14,7 @@ import (
 	"gridftp.dev/instant/internal/ftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/usagestats"
 )
 
@@ -51,18 +52,27 @@ type ServerConfig struct {
 	// DataTimeout bounds waits for data connections (default 30s).
 	DataTimeout time.Duration
 	// Usage, if non-nil, receives per-transfer usage reports (the
-	// opt-in statistics stream behind the paper's Fig 1).
-	Usage *usagestats.Collector
+	// opt-in statistics stream behind the paper's Fig 1). Use
+	// usagestats.MultiSink to feed several sinks — e.g. the fleet
+	// collector plus a metrics registry — from one server.
+	Usage usagestats.Sink
 	// EndpointName identifies this server in usage reports.
 	EndpointName string
-	// Logf, if non-nil, receives debug logging.
+	// Logf, if non-nil, receives debug logging (legacy hook; the
+	// structured Obs logger is the primary channel).
 	Logf func(format string, args ...any)
+	// Obs receives structured logs, metrics, and spans. Nil disables
+	// observability (all call sites degrade to no-ops).
+	Obs *obs.Obs
 }
 
 // Server is a GridFTP server protocol interpreter plus its DTP(s).
 type Server struct {
 	cfg  ServerConfig
 	host *netsim.Host
+	log  *obs.Logger
+
+	nextSession atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -83,7 +93,15 @@ func NewServer(host *netsim.Host, cfg ServerConfig) (*Server, error) {
 	if cfg.Banner == "" {
 		cfg.Banner = "Instant GridFTP server ready"
 	}
-	return &Server{cfg: cfg, host: host}, nil
+	// Normalize the usage sink: a typed nil (nil *Collector in the
+	// interface) must not survive past this point, or every transfer's
+	// report call would panic the session.
+	cfg.Usage = usagestats.MultiSink(cfg.Usage)
+	logger := cfg.Obs.Logger().With("component", "gridftp-server")
+	if cfg.EndpointName != "" {
+		logger = logger.With("endpoint", cfg.EndpointName)
+	}
+	return &Server{cfg: cfg, host: host, log: logger}, nil
 }
 
 // Host returns the simulated host the server runs on.
@@ -135,6 +153,10 @@ func (s *Server) logf(format string, args ...any) {
 type session struct {
 	srv  *Server
 	ctrl *ftp.Conn
+	// id is this session's server-unique identifier; log carries it (and,
+	// after authentication, the remote DN) on every line.
+	id  int64
+	log *obs.Logger
 
 	// replyMu serializes control-channel writes (marker goroutines write
 	// 111 replies concurrently with the command loop).
@@ -164,17 +186,31 @@ type session struct {
 }
 
 func (s *Server) serveSession(conn net.Conn) {
+	id := s.nextSession.Add(1)
 	sess := &session{
 		srv:  s,
 		ctrl: ftp.NewConn(conn),
+		id:   id,
+		log:  s.log.With("session", id, "remote", conn.RemoteAddr().String()),
 		spec: ChannelSpec{}.Normalize(),
 		cwd:  "/",
 	}
-	defer sess.close()
+	reg := s.cfg.Obs.Registry()
+	reg.Counter("gridftp.server.sessions_total").Inc()
+	reg.Gauge("gridftp.server.sessions_active").Add(1)
+	sess.log.Info("session open")
+	start := time.Now()
 	defer func() {
+		// The panic handler runs before close so a crashed session still
+		// tears down its data state and is logged with full context
+		// (session id, remote address, and — when authenticated — DN).
 		if r := recover(); r != nil {
-			log.Printf("gridftp: session panic: %v", r)
+			reg.Counter("gridftp.server.session_panics").Inc()
+			sess.log.Error("session panic", "panic", fmt.Sprint(r))
 		}
+		sess.close()
+		reg.Gauge("gridftp.server.sessions_active").Add(-1)
+		sess.log.Info("session close", "dur", time.Since(start).Round(time.Microsecond))
 	}()
 	sess.reply(ftp.CodeReadyForNewUser, s.cfg.Banner)
 	sess.loop()
@@ -200,6 +236,7 @@ func (sess *session) loop() {
 			return
 		}
 		sess.srv.logf("<- %s", cmd)
+		sess.log.Debug("command", "cmd", cmd.Name, "params", cmd.Params)
 		if quit := sess.dispatch(cmd); quit {
 			return
 		}
@@ -224,24 +261,30 @@ func (sess *session) handleAuth(params string) bool {
 	raw.SetDeadline(time.Now().Add(30 * time.Second))
 	if err := tc.Handshake(); err != nil {
 		sess.srv.logf("control handshake failed: %v", err)
+		sess.log.Warn("control handshake failed", "err", err)
 		return true // connection is unusable; drop the session
 	}
 	raw.SetDeadline(time.Time{})
 	id, err := gsi.PeerIdentity(tc, sess.srv.cfg.Trust)
 	if err != nil {
 		sess.srv.logf("control peer verification failed: %v", err)
+		sess.log.Warn("control peer verification failed", "err", err)
 		return true
 	}
 	sess.ctrl.Upgrade(tc)
 	// Authorization callout: identity -> local user ("setuid").
 	user, err := sess.srv.cfg.Authz.Map(id)
 	if err != nil {
+		sess.srv.cfg.Obs.Registry().Counter("gridftp.server.authz_denied").Inc()
+		sess.log.Warn("authorization failed", "dn", string(id.Identity), "err", err)
 		sess.reply(ftp.CodeNotLoggedIn, fmt.Sprintf("Authorization failed: %v", err))
 		return true
 	}
 	sess.authenticated = true
 	sess.identity = id
 	sess.localUser = user
+	sess.log = sess.log.With("dn", string(id.Identity), "user", user)
+	sess.log.Info("session authenticated")
 	sess.reply(ftp.CodeUserLoggedIn,
 		fmt.Sprintf("User %s logged in as local user %s", id.Identity, user))
 	return false

@@ -92,6 +92,7 @@ func ThirdParty(src *Client, srcPath string, dst *Client, dstPath string, opts T
 	}
 
 	start := time.Now()
+	dst.resetPerf()
 	var lastMarkers []Range
 
 	// Issue STOR on the destination and RETR on the source; the replies
@@ -110,7 +111,7 @@ func ThirdParty(src *Client, srcPath string, dst *Client, dstPath string, opts T
 	dstCh := make(chan final, 1)
 	go func() {
 		r, err := dst.ctrl.ReadFinalReply(func(p ftp.Reply) {
-			if ranges := dst.handleMarkers(p); ranges != nil {
+			if ranges := dst.handlePreliminary(p); ranges != nil {
 				lastMarkers = ranges
 				if opts.OnMarker != nil {
 					opts.OnMarker(ranges)

@@ -33,6 +33,7 @@ import (
 	"gridftp.dev/instant/internal/ca"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -45,6 +46,8 @@ type Server struct {
 	OnlineCA *ca.OnlineCA
 	// HostCred is the server's TLS identity.
 	HostCred *gsi.Credential
+	// Obs receives logon logs and metrics (nil disables).
+	Obs *obs.Obs
 
 	listener net.Listener
 }
@@ -81,9 +84,14 @@ func (s *Server) Close() error {
 
 func (s *Server) serve(raw net.Conn) {
 	defer raw.Close()
+	log := s.Obs.Logger().With("component", "myproxy", "remote", raw.RemoteAddr().String())
+	reg := s.Obs.Registry()
+	start := time.Now()
 	tc := tls.Server(raw, gsi.ServerTLSConfigNoClientAuth(s.HostCred))
 	raw.SetDeadline(time.Now().Add(time.Minute))
 	if err := tc.Handshake(); err != nil {
+		reg.Counter("myproxy.handshake_failures").Inc()
+		log.Warn("handshake failed", "err", err)
 		return
 	}
 	raw.SetDeadline(time.Time{})
@@ -130,6 +138,8 @@ func (s *Server) serve(raw net.Conn) {
 	// reported before the client sends its key.
 	acct, err := s.OnlineCA.Auth.Authenticate(username, conv)
 	if err != nil {
+		reg.Counter("myproxy.logons_denied").Inc()
+		log.Warn("logon denied", "user", username, "err", err)
 		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
 	}
@@ -158,6 +168,8 @@ func (s *Server) serve(raw net.Conn) {
 	}
 	cred, err := s.OnlineCA.IssuePreauthed(acct.Name, pub, time.Duration(seconds)*time.Second)
 	if err != nil {
+		reg.Counter("myproxy.issue_failures").Inc()
+		log.Warn("issue failed", "user", username, "err", err)
 		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
 	}
@@ -167,6 +179,11 @@ func (s *Server) serve(raw net.Conn) {
 		return
 	}
 	fmt.Fprintf(tc, "CERT %s\n", base64.StdEncoding.EncodeToString(bundle))
+	reg.Counter("myproxy.logons_total").Inc()
+	reg.Histogram("myproxy.logon_seconds", obs.DefaultDurationBuckets).
+		Observe(time.Since(start).Seconds())
+	log.Info("logon issued", "user", username,
+		"dn", string(cred.Identity()), "dur", time.Since(start).Round(time.Microsecond))
 }
 
 func readLine(br *bufio.Reader) (string, error) {

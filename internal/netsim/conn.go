@@ -49,6 +49,13 @@ func signal(ch chan struct{}) {
 	}
 }
 
+// trackQueue moves the owning link's queue-depth counter by n bytes.
+func (h *pipeHalf) trackQueue(n int64) {
+	if h.shaper != nil && h.shaper.link != nil {
+		h.shaper.link.stats.addQueue(n)
+	}
+}
+
 // write appends p with a computed delivery time. It blocks (until deadline)
 // while the buffer is full, and also blocks until the bytes have finished
 // *transmitting* (not propagating), which paces the writer at the link rate.
@@ -87,6 +94,7 @@ func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
 		copy(data, p[:n])
 		h.buf = append(h.buf, chunk{data: data, at: at})
 		h.buffered += n
+		h.trackQueue(int64(n))
 		h.mu.Unlock()
 		signal(h.dataReady)
 		total += n
@@ -146,6 +154,7 @@ func (h *pipeHalf) read(p []byte, deadline time.Time) (int, error) {
 				}
 			}
 			h.buffered -= n
+			h.trackQueue(-int64(n))
 			h.mu.Unlock()
 			signal(h.spaceFree)
 			return n, nil
@@ -176,6 +185,7 @@ func (h *pipeHalf) hardClose() {
 	h.wclosed = true
 	h.dead = true
 	h.buf = nil
+	h.trackQueue(-int64(h.buffered))
 	h.buffered = 0
 	h.mu.Unlock()
 	signal(h.dataReady)

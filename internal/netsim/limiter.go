@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -37,10 +38,48 @@ func (l *limiter) reserve(n int, now time.Time) time.Time {
 	return l.free
 }
 
+// linkStats holds the observability counters of one link. All fields are
+// atomics: data-path goroutines update them without taking the link lock.
+type linkStats struct {
+	bytes    atomic.Int64 // bytes reserved for transmission (both directions)
+	queue    atomic.Int64 // written-but-not-yet-read bytes currently queued
+	maxQueue atomic.Int64 // high watermark of queue
+	drops    atomic.Int64 // conns aborted by cuts + dials refused while down
+	conns    atomic.Int64 // connections established
+}
+
+// addQueue moves the queue depth by n and maintains the high watermark.
+func (st *linkStats) addQueue(n int64) {
+	q := st.queue.Add(n)
+	for {
+		m := st.maxQueue.Load()
+		if q <= m || st.maxQueue.CompareAndSwap(m, q) {
+			return
+		}
+	}
+}
+
+// LinkStats is a point-in-time snapshot of one link's counters.
+type LinkStats struct {
+	// Bytes is the total bytes transmitted across the link, both
+	// directions combined.
+	Bytes int64
+	// QueueDepth is the written-but-not-yet-read bytes currently queued
+	// on the link; MaxQueue is its high watermark.
+	QueueDepth int64
+	MaxQueue   int64
+	// Drops counts connections aborted by CutLink plus dials refused
+	// while the link was down.
+	Drops int64
+	// Conns is how many connections have been established over the link.
+	Conns int64
+}
+
 // link holds the shared shaping state for one host pair.
 type link struct {
 	params LinkParams
 	shared *limiter // aggregate bandwidth shared by all streams
+	stats  linkStats
 
 	mu    sync.Mutex
 	down  bool
@@ -61,8 +100,10 @@ func (l *link) register(c *Conn) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down {
+		l.stats.drops.Add(1)
 		return false
 	}
+	l.stats.conns.Add(1)
 	// Prune closed connections occasionally so long-lived links do not
 	// accumulate dead entries.
 	if len(l.conns) > 256 {
@@ -86,7 +127,21 @@ func (l *link) cut() {
 	l.conns = nil
 	l.mu.Unlock()
 	for _, c := range conns {
+		if !c.closed.Load() {
+			l.stats.drops.Add(1)
+		}
 		c.Abort()
+	}
+}
+
+// statsSnapshot reads the counters coherently enough for reporting.
+func (l *link) statsSnapshot() LinkStats {
+	return LinkStats{
+		Bytes:      l.stats.bytes.Load(),
+		QueueDepth: l.stats.queue.Load(),
+		MaxQueue:   l.stats.maxQueue.Load(),
+		Drops:      l.stats.drops.Load(),
+		Conns:      l.stats.conns.Load(),
 	}
 }
 
@@ -130,6 +185,9 @@ type streamShaper struct {
 // returns when the last byte arrives at the receiver.
 func (s *streamShaper) deliveryTime(n int, now time.Time) time.Time {
 	t := now
+	if s.link != nil {
+		s.link.stats.bytes.Add(int64(n))
+	}
 	if s.stream != nil {
 		if ft := s.stream.reserve(n, now); ft.After(t) {
 			t = ft

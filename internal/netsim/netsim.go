@@ -28,6 +28,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"gridftp.dev/instant/internal/obs"
 )
 
 // mathisC is the constant of the Mathis et al. TCP throughput upper bound
@@ -198,6 +200,40 @@ func (n *Network) RestoreLink(a, b string) {
 	n.linkBetween(a, b).restore()
 }
 
+// LinkStats returns the observability counters of the a<->b link (created
+// on first use, like linkBetween).
+func (n *Network) LinkStats(a, b string) LinkStats {
+	return n.linkBetween(a, b).statsSnapshot()
+}
+
+// ReportMetrics publishes every configured link's counters into the given
+// metrics registry under netsim.link.*{a-b} names. Counters are exported
+// as gauges because the simulator owns the authoritative values; calling
+// again overwrites with fresh snapshots.
+func (n *Network) ReportMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	n.mu.Lock()
+	type entry struct {
+		name string
+		lk   *link
+	}
+	entries := make([]entry, 0, len(n.links))
+	for k, lk := range n.links {
+		entries = append(entries, entry{k.a + "-" + k.b, lk})
+	}
+	n.mu.Unlock()
+	for _, e := range entries {
+		st := e.lk.statsSnapshot()
+		reg.Gauge(obs.Name("netsim.link.bytes", e.name)).Set(st.Bytes)
+		reg.Gauge(obs.Name("netsim.link.queue_depth", e.name)).Set(st.QueueDepth)
+		reg.Gauge(obs.Name("netsim.link.queue_max", e.name)).Set(st.MaxQueue)
+		reg.Gauge(obs.Name("netsim.link.drops", e.name)).Set(st.Drops)
+		reg.Gauge(obs.Name("netsim.link.conns", e.name)).Set(st.Conns)
+	}
+}
+
 // Dial connects from one host to "otherhost:port".
 func (n *Network) Dial(fromHost, target string) (net.Conn, error) {
 	return n.Host(fromHost).Dial(target)
@@ -294,6 +330,7 @@ func (h *Host) dialContext(ctx context.Context, target string, tr Transport) (ne
 	}
 	lk := h.net.linkBetween(h.name, thost)
 	if lk.isDown() {
+		lk.stats.drops.Add(1)
 		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: addr{thost, tport}, Err: errHostUnreachable}
 	}
 	// TCP connection establishment costs one RTT before data can flow.

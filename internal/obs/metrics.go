@@ -1,0 +1,312 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a concurrency-safe collection of named metrics. Metric
+// handles are created on first use and cached; hot paths (per-block byte
+// counting) touch only an atomic after the first lookup.
+//
+// Names are dotted paths ("gridftp.server.bytes_in"); an optional
+// instance label is appended in braces ("netsim.link.bytes{siteA|siteB}")
+// so per-link / per-endpoint series stay separate without a full label
+// system.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (queue depth, active sessions).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (use negative deltas to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max raises the gauge to v if v is greater (high-watermark tracking).
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bucket edges (sorted ascending); observations above the last bound land
+// in the implicit +Inf bucket. All updates are atomic per bucket, so
+// concurrent Observe calls never lock.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefaultDurationBuckets suits millisecond-scale simulated operations
+// (values observed in seconds).
+var DefaultDurationBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// DefaultSizeBuckets suits transfer sizes in bytes.
+var DefaultSizeBuckets = []float64{1 << 10, 32 << 10, 1 << 20, 8 << 20, 64 << 20, 1 << 30}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns (upper bound, cumulative count) pairs including the
+// +Inf bucket.
+func (h *Histogram) Buckets() ([]float64, []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds := append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts := make([]int64, len(h.buckets))
+	var cum int64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		counts[i] = cum
+	}
+	return bounds, counts
+}
+
+// Name composes a metric name with an instance label, e.g.
+// Name("netsim.link.bytes", "siteA|siteB").
+func Name(base, instance string) string {
+	if instance == "" {
+		return base
+	}
+	return base + "{" + instance + "}"
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. The bounds
+// of the first creation win; later calls with different bounds get the
+// existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Metric is one exported sample in a snapshot.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge", "histogram"
+	// Value carries the counter/gauge value, or the histogram count.
+	Value int64
+	// Sum is the histogram value sum (zero for counters/gauges).
+	Sum float64
+}
+
+// Snapshot returns all metrics sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		out = append(out, Metric{Name: name, Kind: "histogram", Value: h.Count(), Sum: h.Sum()})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetrics renders the snapshot in the text export format:
+//
+//	<kind> <name> <value> [<sum>]
+//
+// one metric per line, sorted by name. cmd/benchreport consumes this via
+// ParseSnapshot.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		var err error
+		if m.Kind == "histogram" {
+			_, err = fmt.Fprintf(w, "%s %s %d %g\n", m.Kind, m.Name, m.Value, m.Sum)
+		} else {
+			_, err = fmt.Fprintf(w, "%s %s %d\n", m.Kind, m.Name, m.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseSnapshot reads the WriteMetrics text format back into metrics.
+// Blank lines and lines starting with '#' are skipped; a malformed line
+// is an error.
+func ParseSnapshot(r io.Reader) ([]Metric, error) {
+	var out []Metric
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 {
+			return nil, fmt.Errorf("obs: malformed metric line %q", line)
+		}
+		v, err := strconv.ParseInt(f[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad value in %q: %v", line, err)
+		}
+		m := Metric{Kind: f[0], Name: f[1], Value: v}
+		if len(f) >= 4 {
+			if m.Sum, err = strconv.ParseFloat(f[3], 64); err != nil {
+				return nil, fmt.Errorf("obs: bad sum in %q: %v", line, err)
+			}
+		}
+		switch m.Kind {
+		case "counter", "gauge", "histogram":
+		default:
+			return nil, fmt.Errorf("obs: unknown metric kind in %q", line)
+		}
+		out = append(out, m)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — the
+// same counters, gauges, and histograms, plus concurrent snapshot readers
+// — and checks the totals. Run under -race this is the data-race proof
+// for the hot per-block counting paths.
+func TestRegistryConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		rounds  = 1000
+	)
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Re-look up by name each time: the lookup path is part of
+				// what must be race-free.
+				r.Counter("test.ops").Inc()
+				r.Counter("test.bytes").Add(64)
+				r.Gauge("test.active").Add(1)
+				r.Gauge("test.active").Add(-1)
+				r.Gauge("test.high").Max(int64(w*rounds + i))
+				r.Histogram("test.dur", DefaultDurationBuckets).Observe(0.01)
+			}
+		}(w)
+	}
+	// Concurrent readers while the writers run.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Snapshot()
+				var b bytes.Buffer
+				r.WriteMetrics(&b)
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = workers * rounds
+	if got := r.Counter("test.ops").Value(); got != total {
+		t.Errorf("counter test.ops = %d, want %d", got, total)
+	}
+	if got := r.Counter("test.bytes").Value(); got != total*64 {
+		t.Errorf("counter test.bytes = %d, want %d", got, total*64)
+	}
+	if got := r.Gauge("test.active").Value(); got != 0 {
+		t.Errorf("gauge test.active = %d, want 0", got)
+	}
+	if got := r.Gauge("test.high").Value(); got != total-1 {
+		t.Errorf("gauge test.high = %d, want %d", got, total-1)
+	}
+	h := r.Histogram("test.dur", DefaultDurationBuckets)
+	if h.Count() != total {
+		t.Errorf("histogram count = %d, want %d", h.Count(), total)
+	}
+	if want := float64(total) * 0.01; h.Sum() < want*0.999 || h.Sum() > want*1.001 {
+		t.Errorf("histogram sum = %g, want ~%g", h.Sum(), want)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	c.Add(0)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	bounds, counts := h.Buckets()
+	if len(bounds) != 4 || len(counts) != 4 {
+		t.Fatalf("bucket shape %v %v", bounds, counts)
+	}
+	// Cumulative: <=1: 1, <=10: 3, <=100: 4, +Inf: 5.
+	want := []int64{1, 3, 4, 5}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d (<=%g) = %d, want %d", i, bounds[i], counts[i], w)
+		}
+	}
+}
+
+// TestSnapshotRoundTrip verifies the text export format survives a
+// write/parse cycle — the contract between the -metrics flags and
+// benchreport -metrics-snapshot.
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gridftp.server.bytes_in").Add(123456)
+	r.Counter(Name("usage.bytes_total", "siteA")).Add(99)
+	r.Gauge("gridftp.server.sessions_active").Set(3)
+	h := r.Histogram("transfer.task_seconds", DefaultDurationBuckets)
+	h.Observe(0.25)
+	h.Observe(1.5)
+
+	var b bytes.Buffer
+	if err := r.WriteMetrics(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSnapshot(strings.NewReader("# comment\n\n" + b.String()))
+	if err != nil {
+		t.Fatalf("ParseSnapshot: %v\n%s", err, b.String())
+	}
+	want := r.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d metrics, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Kind != want[i].Kind || got[i].Value != want[i].Value {
+			t.Errorf("metric %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		if d := got[i].Sum - want[i].Sum; d < -1e-9 || d > 1e-9 {
+			t.Errorf("metric %d sum: got %g, want %g", i, got[i].Sum, want[i].Sum)
+		}
+	}
+}
+
+func TestParseSnapshotRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"counter only_two",
+		"counter test.x notanumber",
+		"sparkline test.x 5",
+		"histogram test.h 5 notafloat",
+	} {
+		if _, err := ParseSnapshot(strings.NewReader(line)); err == nil {
+			t.Errorf("ParseSnapshot(%q) should fail", line)
+		}
+	}
+}
+
+// TestTracerConcurrent builds span trees from many goroutines while other
+// goroutines snapshot and render them — the -race proof for the span
+// store.
+func TestTracerConcurrent(t *testing.T) {
+	const (
+		workers  = 8
+		perChild = 10
+	)
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			root := tr.StartSpan(fmt.Sprintf("task-%d", w))
+			root.SetAttr("worker", w)
+			for i := 0; i < perChild; i++ {
+				c := root.Child("phase")
+				c.SetAttr("i", i)
+				if i%3 == 0 {
+					c.SetError(fmt.Errorf("boom %d", i))
+				}
+				c.End()
+			}
+			root.End()
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Spans()
+				tr.TreeString()
+				tr.Roots()
+			}
+		}()
+	}
+	wg.Wait()
+
+	spans := tr.Spans()
+	if want := workers * (perChild + 1); len(spans) != want {
+		t.Fatalf("retained %d spans, want %d", len(spans), want)
+	}
+	roots := tr.Roots()
+	if len(roots) != workers {
+		t.Fatalf("%d roots, want %d", len(roots), workers)
+	}
+	for _, root := range roots {
+		if !root.Ended {
+			t.Errorf("root %s not ended", root.Name)
+		}
+		kids := tr.Children(root.ID)
+		if len(kids) != perChild {
+			t.Errorf("root %s has %d children, want %d", root.Name, len(kids), perChild)
+		}
+		errs := 0
+		for _, k := range kids {
+			if k.Err != "" {
+				errs++
+			}
+		}
+		if want := (perChild + 2) / 3; errs != want {
+			t.Errorf("root %s has %d errored children, want %d", root.Name, errs, want)
+		}
+	}
+	tree := tr.TreeString()
+	if !strings.Contains(tree, "task-0") || !strings.Contains(tree, "  phase") {
+		t.Errorf("TreeString missing expected structure:\n%s", tree)
+	}
+}
+
+func TestTracerBoundedBuffer(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < maxSpans+100; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := len(tr.Spans()); got != maxSpans {
+		t.Fatalf("retained %d spans, want %d", got, maxSpans)
+	}
+}
+
+func TestLoggerLevelsAndFields(t *testing.T) {
+	var b bytes.Buffer
+	l := NewLogger(&b, LevelInfo)
+	l.Debug("hidden")
+	l.Info("plain")
+	child := l.With("session", 7, "dn", "/O=Grid/CN=alice")
+	child.Warn("spaced msg", "bytes", 1024)
+	out := b.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line leaked through info level:\n%s", out)
+	}
+	if !strings.Contains(out, "level=info msg=plain") {
+		t.Errorf("missing info line:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="spaced msg" session=7 dn="/O=Grid/CN=alice" bytes=1024`) {
+		t.Errorf("missing structured warn line:\n%s", out)
+	}
+}
+
+// TestNilSafety exercises every accessor off a nil bundle, logger, span,
+// and metric — the "call sites never guard" contract.
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	o.Logger().Info("into the void", "k", "v")
+	o.Logger().With("a", 1).Debug("still fine")
+	o.Registry().Counter("nil.test").Inc()
+	o.Tracer().StartSpan("nil-span").Child("kid").End()
+
+	var span *Span
+	span.SetAttr("k", "v")
+	span.SetError(fmt.Errorf("x"))
+	span.End()
+	if span.Child("kid") != nil {
+		t.Error("nil span Child should be nil")
+	}
+	if span.Duration() != 0 {
+		t.Error("nil span Duration should be 0")
+	}
+
+	var c *Counter
+	c.Inc()
+	var g *Gauge
+	g.Set(1)
+	var h *Histogram
+	h.Observe(1)
+
+	if o.DebugSnapshot() == "" {
+		t.Error("nil Obs DebugSnapshot should still render headers")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warning": LevelWarn, "error": LevelError,
+	} {
+		got, ok := ParseLevel(in)
+		if !ok || got != want {
+			t.Errorf("ParseLevel(%q) = %v,%v", in, got, ok)
+		}
+	}
+	if _, ok := ParseLevel("loud"); ok {
+		t.Error("ParseLevel should reject unknown names")
+	}
+}

@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer is a lightweight span store: spans are started (optionally under
+// a parent), annotated with attributes, and ended; the tracer keeps a
+// bounded buffer of spans so a long-running server cannot grow without
+// limit. There is no wire propagation — everything runs in-process, so a
+// *Span pointer is the trace context.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID int64
+	spans  []*Span // all spans in start order, bounded by maxSpans
+}
+
+// maxSpans bounds the tracer's buffer; older spans are evicted whole-tree
+// agnostic (oldest first).
+const maxSpans = 4096
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// Span is one timed operation. Fields are guarded by mu; Start/parent/name
+// are immutable after creation.
+type Span struct {
+	tracer *Tracer
+	ID     int64
+	Parent int64 // 0 = root
+	Name   string
+	Start  time.Time
+
+	mu    sync.Mutex
+	end   time.Time
+	attrs []field
+	err   string
+}
+
+// StartSpan begins a root span.
+func (t *Tracer) StartSpan(name string) *Span {
+	return t.startSpan(name, 0)
+}
+
+func (t *Tracer) startSpan(name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	s := &Span{tracer: t, ID: t.nextID, Parent: parent, Name: name, Start: time.Now()}
+	t.spans = append(t.spans, s)
+	if len(t.spans) > maxSpans {
+		t.spans = append([]*Span(nil), t.spans[len(t.spans)-maxSpans:]...)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Child begins a span parented to s. A nil receiver returns nil, so call
+// chains off an absent tracer stay safe.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.startSpan(name, s.ID)
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, field{key: key, val: fmt.Sprint(value)})
+	s.mu.Unlock()
+}
+
+// SetError records an error on the span (nil err is a no-op).
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.mu.Unlock()
+}
+
+// End marks the span finished. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns end-start (zero while the span is still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.Start)
+}
+
+// SpanInfo is an immutable snapshot of one span.
+type SpanInfo struct {
+	ID       int64
+	Parent   int64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Ended    bool
+	Attrs    map[string]string
+	Err      string
+}
+
+// Spans returns snapshots of all retained spans in start order.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+	out := make([]SpanInfo, 0, len(spans))
+	for _, s := range spans {
+		s.mu.Lock()
+		info := SpanInfo{
+			ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start,
+			Ended: !s.end.IsZero(), Err: s.err,
+			Attrs: make(map[string]string, len(s.attrs)),
+		}
+		if info.Ended {
+			info.Duration = s.end.Sub(s.Start)
+		}
+		for _, f := range s.attrs {
+			info.Attrs[f.key] = f.val
+		}
+		s.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}
+
+// Roots returns the retained root spans (Parent == 0) in start order.
+func (t *Tracer) Roots() []SpanInfo {
+	var out []SpanInfo
+	for _, s := range t.Spans() {
+		if s.Parent == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Children returns the direct children of the span with the given id.
+func (t *Tracer) Children(id int64) []SpanInfo {
+	var out []SpanInfo
+	for _, s := range t.Spans() {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TreeString renders all retained spans as an indented forest, one span
+// per line: name, duration, attributes, and error if any.
+func (t *Tracer) TreeString() string {
+	spans := t.Spans()
+	children := make(map[int64][]SpanInfo)
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	var b strings.Builder
+	var render func(parent int64, depth int)
+	render = func(parent int64, depth int) {
+		for _, s := range children[parent] {
+			b.WriteString(strings.Repeat("  ", depth))
+			b.WriteString(s.Name)
+			if s.Ended {
+				fmt.Fprintf(&b, " %v", s.Duration.Round(time.Microsecond))
+			} else {
+				b.WriteString(" (open)")
+			}
+			if len(s.Attrs) > 0 {
+				keys := make([]string, 0, len(s.Attrs))
+				for k := range s.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, " %s=%s", k, quoteIfNeeded(s.Attrs[k]))
+				}
+			}
+			if s.Err != "" {
+				fmt.Fprintf(&b, " err=%s", quoteIfNeeded(s.Err))
+			}
+			b.WriteByte('\n')
+			render(s.ID, depth+1)
+		}
+	}
+	render(0, 0)
+	return b.String()
+}

@@ -20,6 +20,7 @@ import (
 	"gridftp.dev/instant/internal/myproxy"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -71,11 +72,18 @@ type Task struct {
 	// checkpointing, retries move only the missing remainder.
 	BytesTransferred int64
 	FileSize         int64
-	Error            string
-	Markers          []gridftp.Range
-	Started          time.Time
-	Finished         time.Time
-	Parallelism      int
+	// PerfBytes is the in-flight progress of the current file as reported
+	// by 112 performance markers (sum across stripes); PerfMarkers counts
+	// how many markers the current attempt has observed. Unlike
+	// BytesTransferred (updated at file completion), these move *during*
+	// the transfer — they are the service's live progress view.
+	PerfBytes   int64
+	PerfMarkers int
+	Error       string
+	Markers     []gridftp.Range
+	Started     time.Time
+	Finished    time.Time
+	Parallelism int
 }
 
 // Config tunes the service.
@@ -90,12 +98,16 @@ type Config struct {
 	// DisableAutotune pins parallelism to 1 instead of sizing it to the
 	// file (ablation).
 	DisableAutotune bool
+	// Obs receives structured logs, metrics, and per-task span trees
+	// (activation → control → data). Nil disables observability.
+	Obs *obs.Obs
 }
 
 // Service is the hosted transfer service.
 type Service struct {
 	host *netsim.Host
 	cfg  Config
+	log  *obs.Logger
 
 	mu          sync.Mutex
 	endpoints   map[string]*Endpoint
@@ -119,6 +131,7 @@ func NewService(host *netsim.Host, cfg Config) *Service {
 	return &Service{
 		host:        host,
 		cfg:         cfg,
+		log:         cfg.Obs.Logger().With("component", "transfer-service"),
 		endpoints:   make(map[string]*Endpoint),
 		activations: make(map[string]*activation),
 		tasks:       make(map[string]*Task),
@@ -351,20 +364,38 @@ type transferPlan struct {
 
 func (s *Service) run(task *Task) {
 	s.update(task, func(t *Task) { t.Status = TaskActive })
+	reg := s.cfg.Obs.Registry()
+	reg.Counter("transfer.tasks_total").Inc()
+	log := s.log.With("task", task.ID, "src", task.Src, "dst", task.Dst)
+	log.Info("task started", "user", task.User)
+	span := s.cfg.Obs.Tracer().StartSpan("task")
+	span.SetAttr("task", task.ID)
+	span.SetAttr("src", task.Src)
+	span.SetAttr("dst", task.Dst)
 	var plan *transferPlan
 	var lastErr error
 	for attempt := 1; attempt <= s.cfg.RetryLimit; attempt++ {
 		s.update(task, func(t *Task) { t.Attempts = attempt })
-		err := s.attempt(task, &plan)
+		err := s.attempt(task, &plan, span)
 		if err == nil {
 			s.update(task, func(t *Task) {
 				t.Status = TaskSucceeded
 				t.Finished = time.Now()
 				t.Error = ""
 			})
+			span.SetAttr("attempts", attempt)
+			span.End()
+			reg.Counter("transfer.tasks_succeeded").Inc()
+			reg.Histogram("transfer.task_seconds", obs.DefaultDurationBuckets).
+				Observe(time.Since(task.Started).Seconds())
+			log.Info("task succeeded", "attempts", attempt,
+				"bytes", task.BytesTransferred,
+				"dur", time.Since(task.Started).Round(time.Microsecond))
 			return
 		}
 		lastErr = err
+		reg.Counter("transfer.attempt_failures").Inc()
+		log.Warn("attempt failed", "attempt", attempt, "err", err)
 		if s.cfg.DisableCheckpointing && plan != nil {
 			plan.markers = nil
 		}
@@ -375,6 +406,10 @@ func (s *Service) run(task *Task) {
 		t.Finished = time.Now()
 		t.Error = lastErr.Error()
 	})
+	span.SetError(lastErr)
+	span.End()
+	reg.Counter("transfer.tasks_failed").Inc()
+	log.Error("task failed", "err", lastErr)
 }
 
 // attempt reauthenticates to both endpoints with the stored short-term
@@ -382,7 +417,7 @@ func (s *Service) run(task *Task) {
 // on the first attempt (single file, or a recursive directory walk) and
 // then transferring the remaining files third-party, resuming the first
 // incomplete file from its restart markers.
-func (s *Service) attempt(task *Task, planp **transferPlan) error {
+func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) error {
 	srcEP, err := s.endpoint(task.Src)
 	if err != nil {
 		return err
@@ -391,39 +426,79 @@ func (s *Service) attempt(task *Task, planp **transferPlan) error {
 	if err != nil {
 		return err
 	}
+
+	// Activation phase: resolve the stored short-term certificates and
+	// derive the per-attempt proxies (§VI.B reauthentication).
+	actSpan := taskSpan.Child("activate")
 	srcCred, err := s.credentialFor(task.Src, task.User)
 	if err != nil {
+		actSpan.SetError(err)
+		actSpan.End()
 		return err
 	}
 	dstCred, err := s.credentialFor(task.Dst, task.User)
 	if err != nil {
+		actSpan.SetError(err)
+		actSpan.End()
 		return err
 	}
 	srcProxy, err := gsi.NewProxy(srcCred, gsi.ProxyOptions{})
 	if err != nil {
+		actSpan.SetError(err)
+		actSpan.End()
 		return err
 	}
 	dstProxy, err := gsi.NewProxy(dstCred, gsi.ProxyOptions{})
 	if err != nil {
+		actSpan.SetError(err)
+		actSpan.End()
 		return err
 	}
-	srcClient, err := gridftp.Dial(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust)
+	actSpan.End()
+
+	// Control phase: dial both endpoints, authenticate, delegate.
+	ctlSpan := taskSpan.Child("control")
+	dialOpts := gridftp.DialOptions{Obs: s.cfg.Obs}
+	srcClient, err := gridftp.DialWithOptions(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust, dialOpts)
 	if err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
 		return err
 	}
 	defer srcClient.Close()
-	dstClient, err := gridftp.Dial(s.host, dstEP.GridFTPAddr, dstProxy, dstEP.Trust)
+	dstClient, err := gridftp.DialWithOptions(s.host, dstEP.GridFTPAddr, dstProxy, dstEP.Trust, dialOpts)
 	if err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
 		return err
 	}
 	defer dstClient.Close()
 	if err := srcClient.Delegate(2 * time.Hour); err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
 		return err
 	}
 	if err := dstClient.Delegate(2 * time.Hour); err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
 		return err
 	}
+	ctlSpan.End()
 	dstClient.SetMarkerInterval(25 * time.Millisecond)
+
+	// In-flight progress: the destination parses the server's 112
+	// performance markers during the transfer; each one refreshes the
+	// task's live PerfBytes/PerfMarkers view.
+	reg := s.cfg.Obs.Registry()
+	s.update(task, func(t *Task) { t.PerfBytes = 0; t.PerfMarkers = 0 })
+	dstClient.OnPerf(func(m gridftp.PerfMarker) {
+		total, _, markers := dstClient.PerfSnapshot()
+		reg.Counter("transfer.perf_markers").Inc()
+		s.update(task, func(t *Task) {
+			t.PerfBytes = total
+			t.PerfMarkers = markers
+		})
+	})
 
 	if *planp == nil {
 		plan, err := s.buildPlan(task, srcClient, dstClient)
@@ -469,8 +544,15 @@ func (s *Service) attempt(task *Task, planp **transferPlan) error {
 		opts.OnMarker = func(rs []gridftp.Range) { latest = rs }
 		already := gridftp.FromRanges(plan.markers).Covered()
 
+		// Data phase: one span per file, third-party MODE E transfer.
+		dataSpan := taskSpan.Child("data")
+		dataSpan.SetAttr("path", srcPath)
+		dataSpan.SetAttr("size", size)
+		dataSpan.SetAttr("parallelism", par)
 		_, terr := gridftp.ThirdParty(srcClient, srcPath, dstClient, dstPath, opts)
 		if terr != nil {
+			dataSpan.SetError(terr)
+			dataSpan.End()
 			movedNow := gridftp.FromRanges(latest).Covered() - already
 			if movedNow < 0 {
 				movedNow = 0
@@ -480,8 +562,10 @@ func (s *Service) attempt(task *Task, planp **transferPlan) error {
 				t.BytesTransferred += movedNow
 				t.Markers = latest
 			})
+			reg.Counter("transfer.bytes_total").Add(movedNow)
 			return terr
 		}
+		dataSpan.End()
 		plan.next++
 		plan.markers = nil
 		s.update(task, func(t *Task) {
@@ -489,6 +573,8 @@ func (s *Service) attempt(task *Task, planp **transferPlan) error {
 			t.CompletedFiles = plan.next
 			t.Markers = nil
 		})
+		reg.Counter("transfer.bytes_total").Add(size - already)
+		reg.Counter("transfer.files_total").Inc()
 	}
 	return nil
 }

@@ -1,0 +1,70 @@
+package usagestats
+
+import (
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+func record(endpoint string, bytes int64) TransferRecord {
+	return TransferRecord{
+		Endpoint: endpoint, User: "alice", Op: "STOR", Path: "/x.bin",
+		Bytes: bytes, Duration: 100 * time.Millisecond, When: time.Now(),
+	}
+}
+
+// TestMultiSinkDropsTypedNil pins the typed-nil regression: a nil
+// *Collector assigned into an optional Sink config field passes a bare
+// != nil check and panics on Report. MultiSink must normalize it away.
+func TestMultiSinkDropsTypedNil(t *testing.T) {
+	var c *Collector // typed nil
+	if s := MultiSink(c); s != nil {
+		t.Fatalf("MultiSink(typed nil) = %#v, want nil", s)
+	}
+	if s := MultiSink(nil, c, nil); s != nil {
+		t.Fatalf("MultiSink(nils only) = %#v, want nil", s)
+	}
+
+	live := NewCollector()
+	s := MultiSink(c, live, nil)
+	if s == nil {
+		t.Fatal("MultiSink dropped the live sink")
+	}
+	s.Report(record("siteA", 10)) // must not panic on the dropped nils
+	if n, _ := live.Totals(); n != 1 {
+		t.Fatalf("live collector saw %d transfers, want 1", n)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	reg := obs.NewRegistry()
+	s := MultiSink(a, MetricsSink(reg), b)
+	s.Report(record("siteA", 500))
+	s.Report(record("siteB", 300))
+
+	for name, c := range map[string]*Collector{"a": a, "b": b} {
+		if n, bytes := c.Totals(); n != 2 || bytes != 800 {
+			t.Errorf("collector %s: %d transfers / %d bytes, want 2 / 800", name, n, bytes)
+		}
+	}
+	if v := reg.Counter("usage.transfers_total").Value(); v != 2 {
+		t.Errorf("usage.transfers_total = %d, want 2", v)
+	}
+	if v := reg.Counter("usage.bytes_total").Value(); v != 800 {
+		t.Errorf("usage.bytes_total = %d, want 800", v)
+	}
+	if v := reg.Counter(obs.Name("usage.endpoint.bytes", "siteA")).Value(); v != 500 {
+		t.Errorf("per-endpoint bytes = %d, want 500", v)
+	}
+	if n := reg.Histogram("usage.transfer_seconds", obs.DefaultDurationBuckets).Count(); n != 2 {
+		t.Errorf("duration histogram count = %d, want 2", n)
+	}
+}
+
+func TestMetricsSinkNilRegistry(t *testing.T) {
+	if s := MetricsSink(nil); s != nil {
+		t.Fatalf("MetricsSink(nil) = %#v, want nil", s)
+	}
+}

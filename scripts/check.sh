@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the pre-commit gate: build, vet, full test suite, and the
+# race detector on the concurrency-heavy packages (the observability
+# registry/tracer, the GridFTP engine with its marker emitters, the
+# hosted transfer service, and the network simulator).
+#
+# Usage: ./scripts/check.sh [extra go-test args]
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test "$@" ./...
+
+echo "==> go test -race (obs, gridftp, transfer, netsim, usagestats)"
+go test -race "$@" \
+	./internal/obs/ \
+	./internal/gridftp/ \
+	./internal/transfer/ \
+	./internal/netsim/ \
+	./internal/usagestats/
+
+echo "OK"
