@@ -8,11 +8,14 @@
 //	benchreport -exp e2                # run one experiment (e1..e12, blocksize, cache, autotune, transport)
 //	benchreport -list                  # list experiment ids
 //	benchreport -metrics-snapshot f    # render a metrics snapshot file (obs.WriteMetrics format)
+//	benchreport -metrics-snapshot http://127.0.0.1:9970/metrics
+//	                                   # scrape a live admin /metrics endpoint
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -20,12 +23,13 @@ import (
 
 	"gridftp.dev/instant/internal/experiments"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/expfmt"
 )
 
 func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	snapshot := flag.String("metrics-snapshot", "", "render a metrics snapshot file (as written by obs.WriteMetrics / the -metrics flag) and exit")
+	snapshot := flag.String("metrics-snapshot", "", "render a metrics snapshot and exit: a file (obs.WriteMetrics format) or an http(s):// URL of a live admin /metrics endpoint")
 	flag.Parse()
 
 	if *snapshot != "" {
@@ -77,32 +81,58 @@ func main() {
 	}
 }
 
-// renderSnapshot loads a metrics snapshot (the text format WriteMetrics
-// emits and the -metrics flags of gridftp-server/transfer-service dump)
-// and prints it as an aligned table, one row per metric. A full -metrics
-// dump also carries the span forest after a "# spans" header; that part
-// is not metric lines, so it is split off and echoed verbatim.
-func renderSnapshot(path string) error {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return err
-	}
-	text := string(raw)
+// renderSnapshot loads a metrics snapshot and prints it as an aligned
+// table, one row per metric. The source is either a file in the text
+// format WriteMetrics emits (what the -metrics flags of
+// gridftp-server/transfer-service dump) or, when it starts with
+// http:// or https://, a live admin-plane /metrics endpoint in
+// Prometheus text exposition format. A full -metrics dump also carries
+// the span forest after a "# spans" header; that part is not metric
+// lines, so it is split off and echoed verbatim.
+func renderSnapshot(src string) error {
+	var metrics []obs.Metric
 	spans := ""
-	if i := strings.Index(text, "# spans\n"); i >= 0 {
-		text, spans = text[:i], text[i+len("# spans\n"):]
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		resp, err := http.Get(src)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("scrape %s: %s", src, resp.Status)
+		}
+		metrics, err = expfmt.ParseText(resp.Body)
+		if err != nil {
+			return fmt.Errorf("scrape %s: %w", src, err)
+		}
+	} else {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		text := string(raw)
+		if i := strings.Index(text, "# spans\n"); i >= 0 {
+			text, spans = text[:i], text[i+len("# spans\n"):]
+		}
+		metrics, err = obs.ParseSnapshot(strings.NewReader(text))
+		if err != nil {
+			return err
+		}
 	}
-	metrics, err := obs.ParseSnapshot(strings.NewReader(text))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%-10s %-48s %14s %16s\n", "kind", "name", "value", "sum")
+	fmt.Printf("%-10s %-48s %14s %16s %12s %12s %12s\n",
+		"kind", "name", "value", "sum", "p50", "p90", "p99")
 	for _, m := range metrics {
-		sum := ""
+		sum, p50, p90, p99 := "", "", "", ""
 		if m.Kind == "histogram" {
 			sum = fmt.Sprintf("%.6f", m.Sum)
+			if m.Value > 0 {
+				p50 = fmt.Sprintf("%.6f", m.P50)
+				p90 = fmt.Sprintf("%.6f", m.P90)
+				p99 = fmt.Sprintf("%.6f", m.P99)
+			}
 		}
-		fmt.Printf("%-10s %-48s %14d %16s\n", m.Kind, m.Name, m.Value, sum)
+		fmt.Printf("%-10s %-48s %14d %16s %12s %12s %12s\n",
+			m.Kind, m.Name, m.Value, sum, p50, p90, p99)
 	}
 	fmt.Printf("(%d metrics)\n", len(metrics))
 	if strings.TrimSpace(spans) != "" {

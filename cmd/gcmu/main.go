@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	gcmu steps     # print the setup-step comparison
-//	gcmu install   # perform a live install + first transfer
-//	gcmu console   # install + drive the web admin console (§VIII)
+//	gcmu steps                      # print the setup-step comparison
+//	gcmu install [-admin ADDR]      # perform a live install + first transfer
+//	gcmu console [-admin ADDR]      # install + drive the web admin console (§VIII)
+//
+// With -admin, install/console serve the HTTP admin plane (Prometheus
+// /metrics, /debug/events, ...) on ADDR and hold until SIGINT/SIGTERM.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,33 +22,61 @@ import (
 	"strings"
 	"time"
 
+	"gridftp.dev/instant/internal/admin"
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 )
 
 func main() {
 	cmd := "steps"
-	if len(os.Args) > 1 {
-		cmd = os.Args[1]
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd = args[0]
+		args = args[1:]
 	}
+	fs := flag.NewFlagSet("gcmu "+cmd, flag.ExitOnError)
+	adminAddr := fs.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
+	fs.Parse(args)
+
+	o := obs.FromEnv()
 	var err error
 	switch cmd {
 	case "steps":
 		err = steps()
 	case "install":
-		err = install()
+		err = install(*adminAddr, o)
 	case "console":
-		err = console()
+		err = console(*adminAddr, o)
 	default:
-		fmt.Fprintf(os.Stderr, "usage: gcmu [steps|install|console]\n")
+		fmt.Fprintf(os.Stderr, "usage: gcmu [steps|install|console] [-admin ADDR]\n")
 		os.Exit(2)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// startAdmin brings up the admin plane when addr is non-empty; the
+// returned hold func blocks until interrupt (and is a no-op otherwise).
+func startAdmin(addr string, o *obs.Obs) (hold func(), cleanup func(), err error) {
+	if addr == "" {
+		return func() {}, func() {}, nil
+	}
+	adm := admin.New(o)
+	bound, err := adm.ListenAndServe(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	fmt.Printf("admin plane: http://%s/\n", bound)
+	hold = func() {
+		fmt.Printf("\nholding for scrapes (curl http://%s/metrics); Ctrl-C to exit\n", bound)
+		admin.AwaitInterrupt()
+	}
+	return hold, func() { adm.Close() }, nil
 }
 
 func printSteps(title string, list []gcmu.Step) {
@@ -73,7 +105,12 @@ func steps() error {
 	return nil
 }
 
-func install() error {
+func install(adminAddr string, o *obs.Obs) error {
+	hold, cleanup, err := startAdmin(adminAddr, o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	nw := netsim.NewNetwork()
 	dir := pam.NewLDAPDirectory("dc=siteA")
 	dir.AddEntry("alice", "secret")
@@ -89,6 +126,7 @@ func install() error {
 	start := time.Now()
 	ep, err := gcmu.Install(gcmu.Options{
 		Name: "siteA", Host: nw.Host("siteA"), Auth: stack, Accounts: accounts,
+		Obs: o,
 	})
 	if err != nil {
 		return err
@@ -112,12 +150,18 @@ func install() error {
 	}
 	fmt.Printf("\ninstant GridFTP: install -> credential -> first transfer in %v\n",
 		time.Since(start).Round(time.Millisecond))
+	hold()
 	return nil
 }
 
 // console installs an endpoint, starts the §VIII admin console, and
 // exercises it: status, account provisioning, locking.
-func console() error {
+func console(adminAddr string, o *obs.Obs) error {
+	hold, cleanup, err := startAdmin(adminAddr, o)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
 	nw := netsim.NewNetwork()
 	dir := pam.NewLDAPDirectory("dc=siteA")
 	dir.AddEntry("alice", "secret")
@@ -127,6 +171,7 @@ func console() error {
 		pam.Entry{Control: pam.Required, Module: &pam.LDAPModule{Dir: dir}})
 	ep, err := gcmu.Install(gcmu.Options{
 		Name: "siteA", Host: nw.Host("siteA"), Auth: stack, Accounts: accounts,
+		Obs: o,
 	})
 	if err != nil {
 		return err
@@ -162,5 +207,6 @@ func console() error {
 	call("POST", "/accounts", `{"name":"bob"}`)
 	call("GET", "/accounts", "")
 	call("POST", "/accounts/lock", `{"name":"bob","locked":true}`)
+	hold()
 	return nil
 }

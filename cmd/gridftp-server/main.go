@@ -11,6 +11,12 @@
 //
 //	gridftp-server [-name siteA] [-user alice] [-password secret]
 //	               [-stripes N] [-selftest] [-oauth] [-verbose] [-metrics]
+//	               [-admin 127.0.0.1:9970]
+//
+// With -admin, an HTTP admin plane (Prometheus /metrics, /healthz,
+// /readyz, /debug/spans, /debug/events, /debug/pprof/) is served on the
+// given address and the process holds until SIGINT/SIGTERM so the
+// endpoints stay scrapeable.
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"gridftp.dev/instant/internal/admin"
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
@@ -34,13 +41,14 @@ func main() {
 	withOAuth := flag.Bool("oauth", false, "also start the OAuth server")
 	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
+	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
 	flag.Parse()
 
 	o := obs.FromEnv()
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
 	}
-	err := run(*name, *user, *password, *selftest, *withOAuth, o)
+	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
 	}
@@ -50,8 +58,30 @@ func main() {
 	}
 }
 
-func run(name, user, password string, selftest, withOAuth bool, o *obs.Obs) error {
+func run(name, user, password string, selftest, withOAuth bool, adminAddr string, o *obs.Obs) error {
 	nw := netsim.NewNetwork()
+
+	// The admin plane comes up before the install so /healthz answers
+	// immediately; /readyz flips once the endpoint is serving.
+	installed := make(chan struct{})
+	var adm *admin.Server
+	if adminAddr != "" {
+		adm = admin.New(o)
+		adm.AddReadiness("endpoint", func() error {
+			select {
+			case <-installed:
+				return nil
+			default:
+				return fmt.Errorf("endpoint not yet installed")
+			}
+		})
+		addr, err := adm.ListenAndServe(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin plane:     http://%s/\n", addr)
+	}
 
 	dir := pam.NewLDAPDirectory("dc=" + name)
 	dir.AddEntry(user, password)
@@ -74,6 +104,7 @@ func run(name, user, password string, selftest, withOAuth bool, o *obs.Obs) erro
 		return err
 	}
 	defer ep.Close()
+	close(installed)
 	fmt.Printf("install complete in %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("endpoint:        %s\n", ep.Name)
@@ -86,30 +117,33 @@ func run(name, user, password string, selftest, withOAuth bool, o *obs.Obs) erro
 	fmt.Printf("accounts:        %v\n", accounts.Names())
 	fmt.Printf("gridmap file:    none (AUTHZ callout parses username from DN, §IV.C)\n\n")
 
-	if !selftest {
-		return nil
+	if selftest {
+		fmt.Println("self-test: myproxy-logon + put + get ...")
+		client, err := ep.Connect(nw.Host("laptop"), user, pam.PasswordConv(password))
+		if err != nil {
+			return fmt.Errorf("self-test connect: %w", err)
+		}
+		defer client.Close()
+		payload := make([]byte, 1<<20)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		t0 := time.Now()
+		if _, err := client.Put("/selftest.bin", dsi.NewBufferFile(payload)); err != nil {
+			return fmt.Errorf("self-test put: %w", err)
+		}
+		dst := dsi.NewBufferFile(nil)
+		if _, err := client.Get("/selftest.bin", dst); err != nil {
+			return fmt.Errorf("self-test get: %w", err)
+		}
+		if len(dst.Bytes()) != len(payload) {
+			return fmt.Errorf("self-test: round trip %d of %d bytes", len(dst.Bytes()), len(payload))
+		}
+		fmt.Printf("self-test OK: 1 MiB round trip in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Println("self-test: myproxy-logon + put + get ...")
-	client, err := ep.Connect(nw.Host("laptop"), user, pam.PasswordConv(password))
-	if err != nil {
-		return fmt.Errorf("self-test connect: %w", err)
+	if adm != nil {
+		fmt.Printf("\nholding for scrapes (curl http://%s/metrics); Ctrl-C to exit\n", adm.Addr())
+		admin.AwaitInterrupt()
 	}
-	defer client.Close()
-	payload := make([]byte, 1<<20)
-	for i := range payload {
-		payload[i] = byte(i)
-	}
-	t0 := time.Now()
-	if _, err := client.Put("/selftest.bin", dsi.NewBufferFile(payload)); err != nil {
-		return fmt.Errorf("self-test put: %w", err)
-	}
-	dst := dsi.NewBufferFile(nil)
-	if _, err := client.Get("/selftest.bin", dst); err != nil {
-		return fmt.Errorf("self-test get: %w", err)
-	}
-	if len(dst.Bytes()) != len(payload) {
-		return fmt.Errorf("self-test: round trip %d of %d bytes", len(dst.Bytes()), len(payload))
-	}
-	fmt.Printf("self-test OK: 1 MiB round trip in %v\n", time.Since(t0).Round(time.Millisecond))
 	return nil
 }

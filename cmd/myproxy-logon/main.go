@@ -8,6 +8,11 @@
 //
 //	myproxy-logon [-user alice] [-password secret] [-lifetime 12h]
 //	              [-wrong-password]  # demonstrate the failure path
+//	              [-admin 127.0.0.1:9972]
+//
+// With -admin, the HTTP admin plane (Prometheus /metrics, auth events at
+// /debug/events, ...) is served on the given address and the process
+// holds until SIGINT/SIGTERM.
 package main
 
 import (
@@ -16,10 +21,12 @@ import (
 	"os"
 	"time"
 
+	"gridftp.dev/instant/internal/admin"
 	"gridftp.dev/instant/internal/ca"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/myproxy"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -28,16 +35,29 @@ func main() {
 	password := flag.String("password", "secret", "site password")
 	lifetime := flag.Duration("lifetime", 12*time.Hour, "requested credential lifetime")
 	wrong := flag.Bool("wrong-password", false, "attempt logon with a wrong password")
+	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
 	flag.Parse()
 
-	if err := run(*user, *password, *lifetime, *wrong); err != nil {
+	if err := run(*user, *password, *lifetime, *wrong, *adminAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(user, password string, lifetime time.Duration, wrong bool) error {
+func run(user, password string, lifetime time.Duration, wrong bool, adminAddr string) error {
 	nw := netsim.NewNetwork()
+	o := obs.FromEnv()
+
+	var adm *admin.Server
+	if adminAddr != "" {
+		adm = admin.New(o)
+		addr, err := adm.ListenAndServe(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin plane: http://%s/\n", addr)
+	}
 
 	// Site side: online CA over an LDAP-backed PAM stack.
 	signing, err := gsi.NewCA("/O=GCMU/OU=siteA/CN=siteA MyProxy CA", 10*365*24*time.Hour)
@@ -57,7 +77,7 @@ func run(user, password string, lifetime time.Duration, wrong bool) error {
 	if err != nil {
 		return err
 	}
-	srv := &myproxy.Server{OnlineCA: online, HostCred: hostCred}
+	srv := &myproxy.Server{OnlineCA: online, HostCred: hostCred, Obs: o}
 	addr, err := srv.ListenAndServe(nw.Host("siteA"), myproxy.DefaultPort)
 	if err != nil {
 		return err
@@ -74,6 +94,7 @@ func run(user, password string, lifetime time.Duration, wrong bool) error {
 	cred, err := myproxy.Logon(nw.Host("laptop"), addr.String(), user,
 		pam.PasswordConv(attempt), myproxy.LogonOptions{Lifetime: lifetime})
 	if err != nil {
+		hold(adm)
 		return fmt.Errorf("logon failed (as expected with -wrong-password): %w", err)
 	}
 
@@ -94,7 +115,18 @@ func run(user, password string, lifetime time.Duration, wrong bool) error {
 		preview = preview[:300]
 	}
 	fmt.Printf("%s...\n", preview)
+	hold(adm)
 	return nil
+}
+
+// hold blocks until interrupt when the admin plane is up, so its
+// endpoints stay scrapeable after the demo completes.
+func hold(adm *admin.Server) {
+	if adm == nil {
+		return
+	}
+	fmt.Printf("\nholding for scrapes (curl http://%s/metrics); Ctrl-C to exit\n", adm.Addr())
+	admin.AwaitInterrupt()
 }
 
 func maskPassword(p string) string {

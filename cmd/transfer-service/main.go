@@ -8,6 +8,11 @@
 // Usage:
 //
 //	transfer-service [-size 8M] [-fault] [-oauth] [-verbose] [-metrics]
+//	                 [-admin 127.0.0.1:9971]
+//
+// With -admin, the HTTP admin plane (Prometheus /metrics, /debug/events,
+// ...) is served on the given address and the process holds after the
+// demo transfer until SIGINT/SIGTERM.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"gridftp.dev/instant/internal/admin"
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
@@ -33,12 +39,13 @@ func main() {
 	useOAuth := flag.Bool("oauth", false, "activate endpoints via OAuth instead of passwords")
 	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
+	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
 	flag.Parse()
 	o := obs.FromEnv()
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
 	}
-	err := run(*sizeStr, *fault, *useOAuth, o)
+	err := run(*sizeStr, *fault, *useOAuth, *adminAddr, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
 	}
@@ -64,9 +71,20 @@ func parseSize(s string) int {
 	return n * mult
 }
 
-func run(sizeStr string, fault, useOAuth bool, o *obs.Obs) error {
+func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) error {
 	size := parseSize(sizeStr)
 	nw := netsim.NewNetwork()
+
+	var adm *admin.Server
+	if adminAddr != "" {
+		adm = admin.New(o)
+		addr, err := adm.ListenAndServe(adminAddr)
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Printf("admin plane: http://%s/\n", addr)
+	}
 
 	install := func(name, pw string) (*gcmu.Endpoint, *dsi.FaultStorage, error) {
 		dir := pam.NewLDAPDirectory("dc=" + name)
@@ -190,5 +208,9 @@ func run(sizeStr string, fault, useOAuth bool, o *obs.Obs) error {
 		return fmt.Errorf("verification failed: %d of %d bytes", len(got), len(payload))
 	}
 	fmt.Println("  verification:    destination content matches")
+	if adm != nil {
+		fmt.Printf("\nholding for scrapes (curl http://%s/metrics); Ctrl-C to exit\n", adm.Addr())
+		admin.AwaitInterrupt()
+	}
 	return nil
 }

@@ -1,0 +1,289 @@
+// Package admin is the telemetry export plane shared by every daemon: a
+// stdlib net/http server exposing the process's obs bundle to external
+// scrapers and operators. The paper's Globus Online layer exists so that
+// operators can see transfer state without shelling into endpoints; this
+// is the equivalent surface for the reproduction's daemons.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition (?format=json for JSON)
+//	/healthz       liveness probes (200 ok / 503 with failing probe names)
+//	/readyz        readiness probes (same contract, separate set)
+//	/debug/spans   the live span forest as JSON
+//	/debug/events  the structured event ring as JSON (?n= limit, ?type= prefix)
+//	/debug/pprof/  the standard Go profiling endpoints
+//
+// The admin listener is a real OS socket (net.Listen), deliberately
+// outside the simulated network substrate the daemons move data over:
+// external tools — curl, Prometheus, a browser — must be able to reach
+// it.
+package admin
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/expfmt"
+)
+
+// Probe reports one aspect of process health; nil means healthy.
+type Probe func() error
+
+// Server serves the admin endpoints for one obs bundle.
+type Server struct {
+	o   *obs.Obs
+	mux *http.ServeMux
+
+	mu     sync.Mutex
+	health map[string]Probe
+	ready  map[string]Probe
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds an admin server over the given obs bundle (nil is valid and
+// serves empty telemetry).
+func New(o *obs.Obs) *Server {
+	s := &Server{
+		o:      o,
+		mux:    http.NewServeMux(),
+		health: make(map[string]Probe),
+		ready:  make(map[string]Probe),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.probeHandler(&s.health))
+	s.mux.HandleFunc("/readyz", s.probeHandler(&s.ready))
+	s.mux.HandleFunc("/debug/spans", s.handleSpans)
+	s.mux.HandleFunc("/debug/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the admin mux (for httptest and for embedding the
+// admin plane under an existing server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// AddHealth registers a liveness probe under name (replacing any probe
+// of the same name).
+func (s *Server) AddHealth(name string, p Probe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.health[name] = p
+}
+
+// AddReadiness registers a readiness probe under name.
+func (s *Server) AddReadiness(name string, p Probe) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ready[name] = p
+}
+
+// ListenAndServe binds addr (e.g. ":9970" or "127.0.0.1:0") and serves
+// in the background, returning the bound address.
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address ("" before ListenAndServe).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// AwaitInterrupt blocks until SIGINT or SIGTERM — the hold loop daemons
+// use when started with -admin so the endpoints stay scrapeable.
+func AwaitInterrupt() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(ch)
+	<-ch
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "instant-gridftp admin plane")
+	fmt.Fprintln(w, "  /metrics        Prometheus text exposition (?format=json)")
+	fmt.Fprintln(w, "  /healthz        liveness probes")
+	fmt.Fprintln(w, "  /readyz         readiness probes")
+	fmt.Fprintln(w, "  /debug/spans    span forest (JSON)")
+	fmt.Fprintln(w, "  /debug/events   event ring (JSON; ?n=50 ?type=transfer.)")
+	fmt.Fprintln(w, "  /debug/pprof/   Go profiling")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.o.Registry()
+	if r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json") {
+		w.Header().Set("Content-Type", "application/json")
+		if err := expfmt.WriteJSON(w, reg); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", expfmt.TextContentType)
+	if err := expfmt.WriteText(w, reg); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// probeHandler serves one probe set: 200 with a per-probe "name: ok"
+// report, or 503 listing what failed. An empty set is healthy — a daemon
+// that registered nothing has nothing that can fail.
+func (s *Server) probeHandler(set *map[string]Probe) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		probes := make(map[string]Probe, len(*set))
+		for name, p := range *set {
+			probes[name] = p
+		}
+		s.mu.Unlock()
+		names := make([]string, 0, len(probes))
+		for name := range probes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		failed := 0
+		for _, name := range names {
+			if err := probes[name](); err != nil {
+				failed++
+				fmt.Fprintf(&b, "%s: %v\n", name, err)
+			} else {
+				fmt.Fprintf(&b, "%s: ok\n", name)
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if failed > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		if b.Len() == 0 {
+			b.WriteString("ok\n")
+		}
+		w.Write([]byte(b.String()))
+	}
+}
+
+// spanJSON is one span (and its subtree) in the /debug/spans response.
+type spanJSON struct {
+	ID         int64             `json:"id"`
+	Name       string            `json:"name"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Ended      bool              `json:"ended"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Err        string            `json:"err,omitempty"`
+	Children   []*spanJSON       `json:"children,omitempty"`
+}
+
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	spans := s.o.Tracer().Spans()
+	nodes := make(map[int64]*spanJSON, len(spans))
+	var roots []*spanJSON
+	for _, sp := range spans {
+		nodes[sp.ID] = &spanJSON{
+			ID: sp.ID, Name: sp.Name, Start: sp.Start,
+			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
+			Ended:      sp.Ended, Attrs: sp.Attrs, Err: sp.Err,
+		}
+	}
+	for _, sp := range spans {
+		node := nodes[sp.ID]
+		if parent, ok := nodes[sp.Parent]; ok && sp.Parent != 0 {
+			parent.Children = append(parent.Children, node)
+		} else {
+			// Root, or an orphan whose parent was evicted from the
+			// bounded span buffer — surface it at top level either way.
+			roots = append(roots, node)
+		}
+	}
+	if roots == nil {
+		roots = []*spanJSON{}
+	}
+	writeJSON(w, map[string]any{"spans": roots})
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := -1
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	events := s.o.EventLog().Events()
+	if prefix := r.URL.Query().Get("type"); prefix != "" {
+		kept := events[:0:0]
+		for _, ev := range events {
+			if strings.HasPrefix(ev.Type, prefix) {
+				kept = append(kept, ev)
+			}
+		}
+		events = kept
+	}
+	if n >= 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	if events == nil {
+		events = []eventlog.Event{}
+	}
+	writeJSON(w, map[string]any{"events": events})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/usagestats"
 )
@@ -218,6 +219,9 @@ func Install(opts Options) (*Endpoint, error) {
 	if opts.Obs != nil {
 		opts.Obs.Registry().Counter("gcmu.endpoints_installed").Inc()
 	}
+	opts.Obs.EventLog().Append(eventlog.EndpointInstall,
+		"component", "gcmu", "endpoint", ep.Name,
+		"gridftp", ep.GridFTPAddr, "myproxy", ep.MyProxyAddr, "oauth", ep.OAuthAddr)
 	log.Info("install complete")
 	return ep, nil
 }

@@ -12,6 +12,7 @@ import (
 	"gridftp.dev/instant/internal/ftp"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/usagestats"
 )
 
@@ -476,6 +477,7 @@ func (sess *session) handleRetr(params string, off, length int64) {
 		return
 	}
 	sess.reply(ftp.CodeFileStatusOK, fmt.Sprintf("Opening data connection for %s (%d bytes)", p, size))
+	sess.eventTransfer(eventlog.TransferStart, "RETR", p, size)
 	start := time.Now()
 	var sendErr error
 	if sess.spec.Mode == ModeExtended {
@@ -502,6 +504,7 @@ func (sess *session) handleRetr(params string, off, length int64) {
 	if sendErr != nil {
 		closeChannels(chans)
 		sess.data.flush()
+		sess.eventAbort("RETR", p, sendErr)
 		sess.reply(ftp.CodeTransferAborted, errText(sendErr))
 		return
 	}
@@ -546,6 +549,7 @@ func (sess *session) handleStor(params string) {
 			return
 		}
 		sess.reply(ftp.CodeFileStatusOK, "Opening data connection")
+		sess.eventTransfer(eventlog.TransferStart, "STOR", p, -1)
 		offset := int64(0)
 		if len(restart) == 1 && restart[0].Start == 0 {
 			offset = restart[0].End
@@ -553,6 +557,7 @@ func (sess *session) handleStor(params string) {
 		n, recvErr := recvStream(chans[0].sec, f, offset)
 		closeChannels(chans)
 		if recvErr != nil {
+			sess.eventAbort("STOR", p, recvErr)
 			sess.reply(ftp.CodeTransferAborted, errText(recvErr))
 			return
 		}
@@ -622,6 +627,7 @@ func (sess *session) handleStor(params string) {
 	}
 
 	sess.reply(ftp.CodeFileStatusOK, "Opening data connection")
+	sess.eventTransfer(eventlog.TransferStart, "STOR", p, -1)
 
 	stop := make(chan struct{})
 	markerDone := make(chan struct{})
@@ -629,6 +635,11 @@ func (sess *session) handleStor(params string) {
 		defer close(markerDone)
 		markerEmitter(received, sess.markerInterval(), func(m string) {
 			sess.reply(ftp.CodeRestartMarker, "Range Marker "+m)
+			// Each restart marker is a durable checkpoint: record it so
+			// /debug/events shows how far a later resume could pick up.
+			sess.srv.cfg.Obs.EventLog().Append(eventlog.Checkpoint,
+				"component", "gridftp-server", "session", sess.id,
+				"path", p, "ranges", m)
 		}, stop)
 	}()
 	// Performance markers ride alongside restart markers: restart markers
@@ -656,6 +667,7 @@ func (sess *session) handleStor(params string) {
 	if res.Err != nil {
 		closeChannels(all)
 		sess.data.flush()
+		sess.eventAbort("STOR", p, res.Err)
 		sess.reply(ftp.CodeTransferAborted, errText(res.Err))
 		return
 	}
@@ -717,6 +729,23 @@ func (sess *session) emitPerf(m PerfMarker) {
 	sess.reply(CodePerfMarker, perfMarkerLines(m)...)
 }
 
+// eventTransfer records a transfer lifecycle event (size < 0 = unknown,
+// e.g. an inbound STOR whose length only the sender knows).
+func (sess *session) eventTransfer(typ, op, path string, size int64) {
+	kv := []any{"component", "gridftp-server", "session", sess.id,
+		"user", sess.localUser, "op", op, "path", path}
+	if size >= 0 {
+		kv = append(kv, "size", size)
+	}
+	sess.srv.cfg.Obs.EventLog().Append(typ, kv...)
+}
+
+func (sess *session) eventAbort(op, path string, err error) {
+	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferAbort,
+		"component", "gridftp-server", "session", sess.id,
+		"user", sess.localUser, "op", op, "path", path, "err", err.Error())
+}
+
 func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration) {
 	reg := sess.srv.cfg.Obs.Registry()
 	reg.Counter("gridftp.server.transfers_total").Inc()
@@ -725,6 +754,10 @@ func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration
 		Observe(dur.Seconds())
 	sess.log.Info("transfer complete",
 		"op", op, "path", path, "bytes", bytes, "dur", dur.Round(time.Microsecond))
+	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferComplete,
+		"component", "gridftp-server", "session", sess.id,
+		"user", sess.localUser, "op", op, "path", path,
+		"bytes", bytes, "dur", dur.Round(time.Microsecond).String())
 	if sess.srv.cfg.Usage == nil {
 		return
 	}

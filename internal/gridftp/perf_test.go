@@ -53,10 +53,10 @@ func TestPerfMarkerWireRoundTrip(t *testing.T) {
 func TestParsePerfMarkerRejects(t *testing.T) {
 	good := perfMarkerLines(PerfMarker{Stripe: 0, StripeBytes: 10, TotalStripes: 1})
 	cases := []ftp.Reply{
-		{Code: ftp.CodeRestartMarker, Lines: good},            // wrong code
+		{Code: ftp.CodeRestartMarker, Lines: good},                  // wrong code
 		{Code: CodePerfMarker, Lines: []string{"Range Marker 0-5"}}, // wrong body
-		{Code: CodePerfMarker, Lines: good[:2]},               // fields missing
-		{Code: CodePerfMarker},                                // empty
+		{Code: CodePerfMarker, Lines: good[:2]},                     // fields missing
+		{Code: CodePerfMarker},                                      // empty
 	}
 	for i, r := range cases {
 		if _, ok := ParsePerfMarker(r); ok {

@@ -15,6 +15,7 @@ import (
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/usagestats"
 )
 
@@ -196,9 +197,12 @@ func (s *Server) serveSession(conn net.Conn) {
 		cwd:  "/",
 	}
 	reg := s.cfg.Obs.Registry()
+	ev := s.cfg.Obs.EventLog()
 	reg.Counter("gridftp.server.sessions_total").Inc()
 	reg.Gauge("gridftp.server.sessions_active").Add(1)
 	sess.log.Info("session open")
+	ev.Append(eventlog.SessionOpen, "component", "gridftp-server",
+		"session", id, "remote", conn.RemoteAddr().String())
 	start := time.Now()
 	defer func() {
 		// The panic handler runs before close so a crashed session still
@@ -211,6 +215,8 @@ func (s *Server) serveSession(conn net.Conn) {
 		sess.close()
 		reg.Gauge("gridftp.server.sessions_active").Add(-1)
 		sess.log.Info("session close", "dur", time.Since(start).Round(time.Microsecond))
+		ev.Append(eventlog.SessionClose, "component", "gridftp-server",
+			"session", id, "dur", time.Since(start).Round(time.Microsecond).String())
 	}()
 	sess.reply(ftp.CodeReadyForNewUser, s.cfg.Banner)
 	sess.loop()
@@ -230,6 +236,12 @@ func (sess *session) reply(code int, lines ...string) {
 }
 
 func (sess *session) loop() {
+	// The per-command latency histogram is the direct view on the control
+	// channel RTT cost that dominates lots-of-small-files workloads: each
+	// file costs a handful of commands, so command latency times command
+	// count is the protocol overhead pipelining exists to hide.
+	cmdHist := sess.srv.cfg.Obs.Registry().
+		Histogram("gridftp.server.command_seconds", obs.DefaultDurationBuckets)
 	for {
 		cmd, err := sess.ctrl.ReadCommand()
 		if err != nil {
@@ -237,7 +249,10 @@ func (sess *session) loop() {
 		}
 		sess.srv.logf("<- %s", cmd)
 		sess.log.Debug("command", "cmd", cmd.Name, "params", cmd.Params)
-		if quit := sess.dispatch(cmd); quit {
+		start := time.Now()
+		quit := sess.dispatch(cmd)
+		cmdHist.Observe(time.Since(start).Seconds())
+		if quit {
 			return
 		}
 	}
@@ -259,9 +274,12 @@ func (sess *session) handleAuth(params string) bool {
 	raw := sess.ctrl.Transport()
 	tc := tls.Server(raw, gsi.ServerTLSConfig(sess.srv.cfg.HostCred, sess.srv.cfg.Trust))
 	raw.SetDeadline(time.Now().Add(30 * time.Second))
+	ev := sess.srv.cfg.Obs.EventLog()
 	if err := tc.Handshake(); err != nil {
 		sess.srv.logf("control handshake failed: %v", err)
 		sess.log.Warn("control handshake failed", "err", err)
+		ev.Append(eventlog.AuthFailure, "component", "gridftp-server",
+			"session", sess.id, "stage", "handshake", "err", err.Error())
 		return true // connection is unusable; drop the session
 	}
 	raw.SetDeadline(time.Time{})
@@ -269,6 +287,8 @@ func (sess *session) handleAuth(params string) bool {
 	if err != nil {
 		sess.srv.logf("control peer verification failed: %v", err)
 		sess.log.Warn("control peer verification failed", "err", err)
+		ev.Append(eventlog.AuthFailure, "component", "gridftp-server",
+			"session", sess.id, "stage", "verify", "err", err.Error())
 		return true
 	}
 	sess.ctrl.Upgrade(tc)
@@ -277,6 +297,8 @@ func (sess *session) handleAuth(params string) bool {
 	if err != nil {
 		sess.srv.cfg.Obs.Registry().Counter("gridftp.server.authz_denied").Inc()
 		sess.log.Warn("authorization failed", "dn", string(id.Identity), "err", err)
+		ev.Append(eventlog.AuthFailure, "component", "gridftp-server",
+			"session", sess.id, "stage", "authz", "dn", string(id.Identity), "err", err.Error())
 		sess.reply(ftp.CodeNotLoggedIn, fmt.Sprintf("Authorization failed: %v", err))
 		return true
 	}
@@ -285,6 +307,8 @@ func (sess *session) handleAuth(params string) bool {
 	sess.localUser = user
 	sess.log = sess.log.With("dn", string(id.Identity), "user", user)
 	sess.log.Info("session authenticated")
+	ev.Append(eventlog.AuthSuccess, "component", "gridftp-server",
+		"session", sess.id, "dn", string(id.Identity), "user", user)
 	sess.reply(ftp.CodeUserLoggedIn,
 		fmt.Sprintf("User %s logged in as local user %s", id.Identity, user))
 	return false

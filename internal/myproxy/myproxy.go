@@ -34,6 +34,7 @@ import (
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -140,6 +141,8 @@ func (s *Server) serve(raw net.Conn) {
 	if err != nil {
 		reg.Counter("myproxy.logons_denied").Inc()
 		log.Warn("logon denied", "user", username, "err", err)
+		s.Obs.EventLog().Append(eventlog.AuthFailure,
+			"component", "myproxy", "user", username, "err", err.Error())
 		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
 	}
@@ -184,6 +187,8 @@ func (s *Server) serve(raw net.Conn) {
 		Observe(time.Since(start).Seconds())
 	log.Info("logon issued", "user", username,
 		"dn", string(cred.Identity()), "dur", time.Since(start).Round(time.Microsecond))
+	s.Obs.EventLog().Append(eventlog.AuthSuccess,
+		"component", "myproxy", "user", username, "dn", string(cred.Identity()))
 }
 
 func readLine(br *bufio.Reader) (string, error) {

@@ -1,0 +1,171 @@
+// Package eventlog is a bounded in-memory ring of structured lifecycle
+// and audit events: session open/close, authentication success/failure
+// (with the subject DN), transfer start/complete/retry, restart-marker
+// checkpoints, endpoint installs. It complements the metrics registry —
+// metrics answer "how many / how fast", the event log answers "what
+// happened, in order, to whom".
+//
+// The ring is fixed-capacity: a long-running daemon keeps the most recent
+// events and discards the oldest, so memory stays bounded no matter the
+// traffic. Subscriber taps receive every appended event synchronously,
+// which gives tests a deterministic hook without polling.
+//
+// Like the rest of internal/obs, a nil *Log is valid everywhere: all
+// methods degrade to no-ops.
+package eventlog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Common event types. Components qualify them with a "component" field
+// rather than inventing per-component type names, so /debug/events?type=
+// filtering works uniformly across the daemons.
+const (
+	SessionOpen      = "session.open"
+	SessionClose     = "session.close"
+	AuthSuccess      = "auth.success"
+	AuthFailure      = "auth.failure"
+	TransferStart    = "transfer.start"
+	TransferComplete = "transfer.complete"
+	TransferAbort    = "transfer.abort"
+	TransferRetry    = "transfer.retry"
+	Checkpoint       = "transfer.checkpoint"
+	TaskStart        = "task.start"
+	TaskComplete     = "task.complete"
+	EndpointInstall  = "endpoint.install"
+)
+
+// Event is one recorded occurrence. Seq increases monotonically per log
+// and never resets, so a scraper can detect both gaps (ring overflow) and
+// its own resume point.
+type Event struct {
+	Seq    int64             `json:"seq"`
+	Time   time.Time         `json:"time"`
+	Type   string            `json:"type"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Log is a concurrency-safe bounded event ring with subscriber taps.
+type Log struct {
+	mu   sync.Mutex
+	cap  int
+	seq  int64
+	buf  []Event
+	head int // index of the oldest retained event
+	n    int // number of retained events
+
+	taps    map[int]func(Event)
+	nextTap int
+}
+
+// DefaultCapacity is the ring size New uses for capacity <= 0.
+const DefaultCapacity = 1024
+
+// New returns an empty log retaining at most capacity events.
+func New(capacity int) *Log {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Log{cap: capacity, buf: make([]Event, capacity), taps: make(map[int]func(Event))}
+}
+
+// Append records an event of the given type; kv are key/value pairs
+// (values are rendered with fmt.Sprint, a trailing odd key is dropped).
+// The recorded event is returned.
+func (l *Log) Append(typ string, kv ...any) Event {
+	if l == nil {
+		return Event{}
+	}
+	fields := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		fields[fmt.Sprint(kv[i])] = fmt.Sprint(kv[i+1])
+	}
+	l.mu.Lock()
+	l.seq++
+	ev := Event{Seq: l.seq, Time: time.Now(), Type: typ, Fields: fields}
+	if l.n < l.cap {
+		l.buf[(l.head+l.n)%l.cap] = ev
+		l.n++
+	} else {
+		l.buf[l.head] = ev
+		l.head = (l.head + 1) % l.cap
+	}
+	var taps []func(Event)
+	if len(l.taps) > 0 {
+		taps = make([]func(Event), 0, len(l.taps))
+		for _, fn := range l.taps {
+			taps = append(taps, fn)
+		}
+	}
+	l.mu.Unlock()
+	for _, fn := range taps {
+		fn(ev)
+	}
+	return ev
+}
+
+// Events returns the retained events, oldest first.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.head+i)%l.cap]
+	}
+	return out
+}
+
+// Last returns at most n of the most recent events, oldest first.
+func (l *Log) Last(n int) []Event {
+	evs := l.Events()
+	if n >= 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Len returns the number of retained events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Seq returns the sequence number of the most recent event (0 when none
+// have been appended).
+func (l *Log) Seq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Tap registers fn to be called synchronously with every subsequent
+// event; the returned function removes the tap. Taps are the test hook:
+// subscribe, drive the system, assert on what arrived.
+func (l *Log) Tap(fn func(Event)) (remove func()) {
+	if l == nil || fn == nil {
+		return func() {}
+	}
+	l.mu.Lock()
+	id := l.nextTap
+	l.nextTap++
+	l.taps[id] = fn
+	l.mu.Unlock()
+	return func() {
+		l.mu.Lock()
+		delete(l.taps, id)
+		l.mu.Unlock()
+	}
+}

@@ -1,0 +1,413 @@
+// Package expfmt renders an obs.Registry in wire formats external
+// consumers understand: the Prometheus text exposition format (counters,
+// gauges, and histograms with cumulative _bucket/_sum/_count series and
+// the +Inf bucket) and a JSON form carrying the same data plus the
+// interpolated p50/p90/p99 estimates. ParseText reads the Prometheus
+// format back, which is what lets benchreport scrape a live /metrics
+// endpoint instead of a dump file.
+//
+// Registry names are dotted paths with an optional brace-delimited
+// instance ("netsim.link.bytes{siteA|siteB}"); the exposition maps dots
+// (and any other character outside [a-zA-Z0-9_:]) to underscores and the
+// instance to an instance="..." label.
+package expfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// TextContentType is the Content-Type of the Prometheus text format.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeName maps a registry metric name (without its instance part)
+// onto the Prometheus name charset: every character outside
+// [a-zA-Z0-9_:] becomes '_', and a leading digit gets a '_' prefix.
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitInstance separates "base{inst}" into base and instance.
+func splitInstance(name string) (base, instance string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// formatLe renders a bucket upper bound ("+Inf" for the infinite bucket).
+func formatLe(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+type series struct {
+	instance string
+	value    int64
+}
+
+// groupSeries buckets snapshot metrics of one kind by sanitized base
+// name, sorted for stable output. Grouping matters: the format requires
+// all samples of one metric name to be contiguous under its TYPE header,
+// and lexical registry order does not guarantee that ("a.b2" sorts
+// between "a.b" and "a.b{x}").
+func groupSeries(metrics []obs.Metric, kind string) (names []string, groups map[string][]series) {
+	groups = make(map[string][]series)
+	for _, m := range metrics {
+		if m.Kind != kind {
+			continue
+		}
+		base, inst := splitInstance(m.Name)
+		name := SanitizeName(base)
+		groups[name] = append(groups[name], series{instance: inst, value: m.Value})
+	}
+	names = make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+		sort.Slice(groups[name], func(i, j int) bool {
+			return groups[name][i].instance < groups[name][j].instance
+		})
+	}
+	sort.Strings(names)
+	return names, groups
+}
+
+func labelPair(instance string) string {
+	if instance == "" {
+		return ""
+	}
+	return fmt.Sprintf(`{instance="%s"}`, escapeLabel(instance))
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format: one "# TYPE" header per metric name, counters and gauges as
+// single samples, histograms as cumulative _bucket series (ending in
+// le="+Inf") plus _sum and _count.
+func WriteText(w io.Writer, r *obs.Registry) error {
+	bw := bufio.NewWriter(w)
+	snap := r.Snapshot()
+	for _, kind := range []string{"counter", "gauge"} {
+		names, groups := groupSeries(snap, kind)
+		for _, name := range names {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+			for _, s := range groups[name] {
+				fmt.Fprintf(bw, "%s%s %d\n", name, labelPair(s.instance), s.value)
+			}
+		}
+	}
+	hists := r.HistogramSnapshots()
+	byName := make(map[string][]obs.HistogramSnapshot)
+	var names []string
+	for _, h := range hists {
+		base, inst := splitInstance(h.Name)
+		name := SanitizeName(base)
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		h.Name = inst // reuse the field to carry the instance
+		byName[name] = append(byName[name], h)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		group := byName[name]
+		sort.Slice(group, func(i, j int) bool { return group[i].Name < group[j].Name })
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
+		for _, h := range group {
+			for i, b := range h.Bounds {
+				labels := fmt.Sprintf(`{le="%s"}`, formatLe(b))
+				if h.Name != "" {
+					labels = fmt.Sprintf(`{instance="%s",le="%s"}`, escapeLabel(h.Name), formatLe(b))
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labels, h.Counts[i])
+			}
+			fmt.Fprintf(bw, "%s_sum%s %g\n", name, labelPair(h.Name), h.Sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", name, labelPair(h.Name), h.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// jsonHistogram is one histogram in the JSON exposition.
+type jsonHistogram struct {
+	Name     string       `json:"name"`
+	Instance string       `json:"instance,omitempty"`
+	Count    int64        `json:"count"`
+	Sum      float64      `json:"sum"`
+	P50      float64      `json:"p50"`
+	P90      float64      `json:"p90"`
+	P99      float64      `json:"p99"`
+	Buckets  []jsonBucket `json:"buckets"`
+}
+
+type jsonBucket struct {
+	Le    string `json:"le"` // "+Inf" for the last bucket
+	Count int64  `json:"count"`
+}
+
+type jsonSample struct {
+	Name     string `json:"name"`
+	Instance string `json:"instance,omitempty"`
+	Value    int64  `json:"value"`
+}
+
+type jsonExport struct {
+	Counters   []jsonSample    `json:"counters"`
+	Gauges     []jsonSample    `json:"gauges"`
+	Histograms []jsonHistogram `json:"histograms"`
+}
+
+// WriteJSON renders the registry as one JSON document: counters, gauges,
+// and histograms with buckets and interpolated quantiles. Names keep
+// their registry (dotted) form; instances are split into their own field.
+func WriteJSON(w io.Writer, r *obs.Registry) error {
+	out := jsonExport{Counters: []jsonSample{}, Gauges: []jsonSample{}, Histograms: []jsonHistogram{}}
+	for _, m := range r.Snapshot() {
+		base, inst := splitInstance(m.Name)
+		switch m.Kind {
+		case "counter":
+			out.Counters = append(out.Counters, jsonSample{Name: base, Instance: inst, Value: m.Value})
+		case "gauge":
+			out.Gauges = append(out.Gauges, jsonSample{Name: base, Instance: inst, Value: m.Value})
+		}
+	}
+	for _, h := range r.HistogramSnapshots() {
+		base, inst := splitInstance(h.Name)
+		jh := jsonHistogram{
+			Name: base, Instance: inst, Count: h.Count, Sum: h.Sum,
+			P50: h.P50, P90: h.P90, P99: h.P99,
+			Buckets: make([]jsonBucket, len(h.Bounds)),
+		}
+		for i, b := range h.Bounds {
+			jh.Buckets[i] = jsonBucket{Le: formatLe(b), Count: h.Counts[i]}
+		}
+		out.Histograms = append(out.Histograms, jh)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// histAcc accumulates one histogram's series during a text parse.
+type histAcc struct {
+	bounds []float64
+	counts []int64
+	sum    float64
+	count  int64
+}
+
+// ParseText reads a Prometheus text exposition (as written by WriteText,
+// or any standard exporter limited to counters/gauges/histograms) back
+// into obs.Metric values: histograms are reassembled from their
+// _bucket/_sum/_count series, and the p50/p90/p99 estimates are
+// recomputed from the parsed buckets. Metric names keep their exposition
+// (underscored) form; an instance label is folded back into the
+// "name{instance}" convention.
+func ParseText(r io.Reader) ([]obs.Metric, error) {
+	types := make(map[string]string)
+	plain := make(map[string]obs.Metric) // counters/gauges by full name
+	hists := make(map[string]*histAcc)   // by "name{instance}"
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		instance := labels["instance"]
+		switch {
+		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
+			base := strings.TrimSuffix(name, "_bucket")
+			h := histFor(hists, obs.Name(base, instance))
+			le := labels["le"]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				if bound, err = strconv.ParseFloat(le, 64); err != nil {
+					return nil, fmt.Errorf("expfmt: bad le=%q in %q", le, line)
+				}
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, int64(value))
+		case strings.HasSuffix(name, "_sum") && types[strings.TrimSuffix(name, "_sum")] == "histogram":
+			histFor(hists, obs.Name(strings.TrimSuffix(name, "_sum"), instance)).sum = value
+		case strings.HasSuffix(name, "_count") && types[strings.TrimSuffix(name, "_count")] == "histogram":
+			histFor(hists, obs.Name(strings.TrimSuffix(name, "_count"), instance)).count = int64(value)
+		default:
+			kind := types[name]
+			if kind != "counter" && kind != "gauge" {
+				// Untyped or unsupported family (summary, untyped):
+				// treat as a gauge so nothing silently disappears.
+				kind = "gauge"
+			}
+			plain[obs.Name(name, instance)] = obs.Metric{
+				Name: obs.Name(name, instance), Kind: kind, Value: int64(value),
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]obs.Metric, 0, len(plain)+len(hists))
+	for _, m := range plain {
+		out = append(out, m)
+	}
+	for name, h := range hists {
+		sort.Sort(&boundSort{h.bounds, h.counts})
+		m := obs.Metric{Name: name, Kind: "histogram", Value: h.count, Sum: h.sum}
+		if h.count > 0 {
+			m.P50 = obs.QuantileFromBuckets(h.bounds, h.counts, 0.50)
+			m.P90 = obs.QuantileFromBuckets(h.bounds, h.counts, 0.90)
+			m.P99 = obs.QuantileFromBuckets(h.bounds, h.counts, 0.99)
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func histFor(m map[string]*histAcc, key string) *histAcc {
+	h, ok := m[key]
+	if !ok {
+		h = &histAcc{}
+		m[key] = h
+	}
+	return h
+}
+
+type boundSort struct {
+	bounds []float64
+	counts []int64
+}
+
+func (s *boundSort) Len() int           { return len(s.bounds) }
+func (s *boundSort) Less(i, j int) bool { return s.bounds[i] < s.bounds[j] }
+func (s *boundSort) Swap(i, j int) {
+	s.bounds[i], s.bounds[j] = s.bounds[j], s.bounds[i]
+	s.counts[i], s.counts[j] = s.counts[j], s.counts[i]
+}
+
+// parseSample splits one exposition sample line into name, labels, and
+// value. Trailing timestamps are ignored.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = make(map[string]string)
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		j := strings.IndexByte(line[i:], '}')
+		if j < 0 {
+			return "", nil, 0, fmt.Errorf("expfmt: unterminated labels in %q", line)
+		}
+		if labels, err = parseLabels(line[i+1 : i+j]); err != nil {
+			return "", nil, 0, fmt.Errorf("expfmt: %v in %q", err, line)
+		}
+		rest = strings.TrimSpace(line[i+j+1:])
+	} else {
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return "", nil, 0, fmt.Errorf("expfmt: malformed sample %q", line)
+		}
+		name = f[0]
+		rest = strings.Join(f[1:], " ")
+	}
+	f := strings.Fields(rest)
+	if len(f) < 1 {
+		return "", nil, 0, fmt.Errorf("expfmt: missing value in %q", line)
+	}
+	value, err = strconv.ParseFloat(f[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("expfmt: bad value in %q: %v", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` (values may contain escaped quotes).
+func parseLabels(s string) (map[string]string, error) {
+	out := make(map[string]string)
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("bad label segment %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+				s = strings.TrimSpace(s)
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s value unterminated", key)
+		}
+		out[key] = val.String()
+	}
+	return out, nil
+}

@@ -180,6 +180,105 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 	return bounds, counts
 }
 
+// Quantile estimates the q-quantile (0..1) of the observed distribution
+// by linear interpolation inside the bucket the rank falls in — the same
+// estimate Prometheus's histogram_quantile computes. It returns NaN for
+// an empty histogram and the highest finite bound when the rank lands in
+// the +Inf bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	bounds, counts := h.Buckets()
+	return QuantileFromBuckets(bounds, counts, q)
+}
+
+// QuantileFromBuckets interpolates the q-quantile from cumulative bucket
+// data (bounds ascending, the last typically +Inf; counts cumulative,
+// parallel to bounds). It is the shared estimator behind
+// Histogram.Quantile and the exposition/scrape layers.
+func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
+	if len(bounds) == 0 || len(bounds) != len(counts) {
+		return math.NaN()
+	}
+	total := counts[len(counts)-1]
+	if total <= 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	i := 0
+	for i < len(counts)-1 && float64(counts[i]) < rank {
+		i++
+	}
+	if math.IsInf(bounds[i], 1) {
+		// Rank lands above every finite bound: the best defensible point
+		// estimate is the highest finite bound (Prometheus convention).
+		if i == 0 {
+			return math.NaN()
+		}
+		return bounds[i-1]
+	}
+	lower, prev := 0.0, int64(0)
+	if i > 0 {
+		lower = bounds[i-1]
+		prev = counts[i-1]
+	}
+	inBucket := counts[i] - prev
+	if inBucket <= 0 {
+		return bounds[i]
+	}
+	return lower + (bounds[i]-lower)*(rank-float64(prev))/float64(inBucket)
+}
+
+// HistogramSnapshot is the full state of one histogram: cumulative
+// buckets (including +Inf) plus the interpolated p50/p90/p99. The
+// quantiles are zero (not NaN) for an empty histogram so snapshots stay
+// JSON-encodable.
+type HistogramSnapshot struct {
+	Name   string
+	Bounds []float64 // ascending; last is +Inf
+	Counts []int64   // cumulative, parallel to Bounds
+	Count  int64
+	Sum    float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// HistogramSnapshots returns every histogram's full state, sorted by
+// name. Counters and gauges are covered by Snapshot; this is the
+// bucket-level view the exposition layer needs.
+func (r *Registry) HistogramSnapshots() []HistogramSnapshot {
+	r.mu.Lock()
+	hs := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hs[name] = h
+	}
+	r.mu.Unlock()
+	out := make([]HistogramSnapshot, 0, len(hs))
+	for name, h := range hs {
+		bounds, counts := h.Buckets()
+		snap := HistogramSnapshot{
+			Name: name, Bounds: bounds, Counts: counts,
+			Count: h.Count(), Sum: h.Sum(),
+		}
+		if snap.Count > 0 {
+			snap.P50 = QuantileFromBuckets(bounds, counts, 0.50)
+			snap.P90 = QuantileFromBuckets(bounds, counts, 0.90)
+			snap.P99 = QuantileFromBuckets(bounds, counts, 0.99)
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Name composes a metric name with an instance label, e.g.
 // Name("netsim.link.bytes", "siteA|siteB").
 func Name(base, instance string) string {
@@ -235,6 +334,10 @@ type Metric struct {
 	Value int64
 	// Sum is the histogram value sum (zero for counters/gauges).
 	Sum float64
+	// P50/P90/P99 are interpolated quantile estimates, set for histograms
+	// with at least one observation (zero otherwise, so snapshots stay
+	// JSON-encodable).
+	P50, P90, P99 float64
 }
 
 // Snapshot returns all metrics sorted by name.
@@ -247,26 +350,42 @@ func (r *Registry) Snapshot() []Metric {
 	for name, g := range r.gauges {
 		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
 	}
+	hists := make(map[string]*Histogram, len(r.histograms))
 	for name, h := range r.histograms {
-		out = append(out, Metric{Name: name, Kind: "histogram", Value: h.Count(), Sum: h.Sum()})
+		hists[name] = h
 	}
 	r.mu.Unlock()
+	for name, h := range hists {
+		m := Metric{Name: name, Kind: "histogram", Value: h.Count(), Sum: h.Sum()}
+		if m.Value > 0 {
+			bounds, counts := h.Buckets()
+			m.P50 = QuantileFromBuckets(bounds, counts, 0.50)
+			m.P90 = QuantileFromBuckets(bounds, counts, 0.90)
+			m.P99 = QuantileFromBuckets(bounds, counts, 0.99)
+		}
+		out = append(out, m)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // WriteMetrics renders the snapshot in the text export format:
 //
-//	<kind> <name> <value> [<sum>]
+//	<kind> <name> <value> [<sum> [<p50> <p90> <p99>]]
 //
-// one metric per line, sorted by name. cmd/benchreport consumes this via
-// ParseSnapshot.
+// one metric per line, sorted by name. Histograms with observations carry
+// their interpolated quantiles; the extra columns are optional so older
+// dumps still parse. cmd/benchreport consumes this via ParseSnapshot.
 func (r *Registry) WriteMetrics(w io.Writer) error {
 	for _, m := range r.Snapshot() {
 		var err error
-		if m.Kind == "histogram" {
+		switch {
+		case m.Kind == "histogram" && m.Value > 0:
+			_, err = fmt.Fprintf(w, "%s %s %d %g %g %g %g\n",
+				m.Kind, m.Name, m.Value, m.Sum, m.P50, m.P90, m.P99)
+		case m.Kind == "histogram":
 			_, err = fmt.Fprintf(w, "%s %s %d %g\n", m.Kind, m.Name, m.Value, m.Sum)
-		} else {
+		default:
 			_, err = fmt.Fprintf(w, "%s %s %d\n", m.Kind, m.Name, m.Value)
 		}
 		if err != nil {
@@ -299,6 +418,14 @@ func ParseSnapshot(r io.Reader) ([]Metric, error) {
 		if len(f) >= 4 {
 			if m.Sum, err = strconv.ParseFloat(f[3], 64); err != nil {
 				return nil, fmt.Errorf("obs: bad sum in %q: %v", line, err)
+			}
+		}
+		if len(f) >= 7 {
+			qs := [3]*float64{&m.P50, &m.P90, &m.P99}
+			for i, q := range qs {
+				if *q, err = strconv.ParseFloat(f[4+i], 64); err != nil {
+					return nil, fmt.Errorf("obs: bad quantile in %q: %v", line, err)
+				}
 			}
 		}
 		switch m.Kind {

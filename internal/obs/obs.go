@@ -16,34 +16,42 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"gridftp.dev/instant/internal/obs/eventlog"
 )
 
-// Obs bundles the three observability facilities a component needs. A nil
-// *Obs is valid everywhere: all methods degrade to no-ops, so call sites
-// never have to guard.
+// Obs bundles the observability facilities a component needs. A nil *Obs
+// is valid everywhere: all methods degrade to no-ops, so call sites never
+// have to guard.
 type Obs struct {
 	Log     *Logger
 	Metrics *Registry
 	Trace   *Tracer
+	// Events is the bounded structured lifecycle/audit event ring
+	// (session open/close, auth outcomes, transfer progress); the admin
+	// plane serves it at /debug/events.
+	Events *eventlog.Log
 }
 
 // New returns a fully wired Obs: logger writing to w at the given level,
-// a fresh metrics registry, and a fresh tracer.
+// a fresh metrics registry, a fresh tracer, and a fresh event log.
 func New(w io.Writer, level Level) *Obs {
 	return &Obs{
 		Log:     NewLogger(w, level),
 		Metrics: NewRegistry(),
 		Trace:   NewTracer(),
+		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
 }
 
-// Nop returns an Obs that records metrics and spans but writes no log
-// output — the default for tests that only assert on metrics.
+// Nop returns an Obs that records metrics, spans, and events but writes
+// no log output — the default for tests that only assert on telemetry.
 func Nop() *Obs {
 	return &Obs{
 		Log:     NewLogger(io.Discard, LevelError),
 		Metrics: NewRegistry(),
 		Trace:   NewTracer(),
+		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
 }
 
@@ -85,6 +93,16 @@ func (o *Obs) Tracer() *Tracer {
 	return o.Trace
 }
 
+// EventLog returns the bundle's event log, or a discard log when o is nil
+// or has no event log. Like the discard registry, the discard log is real
+// (and bounded), just unreachable — call sites stay branch-free.
+func (o *Obs) EventLog() *eventlog.Log {
+	if o == nil || o.Events == nil {
+		return discardEvents
+	}
+	return o.Events
+}
+
 // DebugSnapshot renders the current metrics and finished spans as one
 // human-readable text block — the "dump everything" surface behind the
 // binaries' -metrics flag.
@@ -101,4 +119,5 @@ var (
 	nopLogger       = NewLogger(io.Discard, LevelError+1)
 	discardRegistry = NewRegistry()
 	discardTracer   = NewTracer()
+	discardEvents   = eventlog.New(64)
 )

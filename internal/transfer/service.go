@@ -21,6 +21,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -365,9 +366,12 @@ type transferPlan struct {
 func (s *Service) run(task *Task) {
 	s.update(task, func(t *Task) { t.Status = TaskActive })
 	reg := s.cfg.Obs.Registry()
+	ev := s.cfg.Obs.EventLog()
 	reg.Counter("transfer.tasks_total").Inc()
 	log := s.log.With("task", task.ID, "src", task.Src, "dst", task.Dst)
 	log.Info("task started", "user", task.User)
+	ev.Append(eventlog.TaskStart, "component", "transfer-service",
+		"task", task.ID, "user", task.User, "src", task.Src, "dst", task.Dst)
 	span := s.cfg.Obs.Tracer().StartSpan("task")
 	span.SetAttr("task", task.ID)
 	span.SetAttr("src", task.Src)
@@ -391,11 +395,16 @@ func (s *Service) run(task *Task) {
 			log.Info("task succeeded", "attempts", attempt,
 				"bytes", task.BytesTransferred,
 				"dur", time.Since(task.Started).Round(time.Microsecond))
+			ev.Append(eventlog.TaskComplete, "component", "transfer-service",
+				"task", task.ID, "status", string(TaskSucceeded),
+				"attempts", attempt, "bytes", task.BytesTransferred)
 			return
 		}
 		lastErr = err
 		reg.Counter("transfer.attempt_failures").Inc()
 		log.Warn("attempt failed", "attempt", attempt, "err", err)
+		ev.Append(eventlog.TransferRetry, "component", "transfer-service",
+			"task", task.ID, "attempt", attempt, "err", err.Error())
 		if s.cfg.DisableCheckpointing && plan != nil {
 			plan.markers = nil
 		}
@@ -410,6 +419,8 @@ func (s *Service) run(task *Task) {
 	span.End()
 	reg.Counter("transfer.tasks_failed").Inc()
 	log.Error("task failed", "err", lastErr)
+	ev.Append(eventlog.TaskComplete, "component", "transfer-service",
+		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error())
 }
 
 // attempt reauthenticates to both endpoints with the stored short-term

@@ -1,12 +1,21 @@
 #!/bin/sh
-# check.sh — the pre-commit gate: build, vet, full test suite, and the
-# race detector on the concurrency-heavy packages (the observability
-# registry/tracer, the GridFTP engine with its marker emitters, the
-# hosted transfer service, and the network simulator).
+# check.sh — the pre-commit gate: gofmt, build, vet, full test suite, and
+# the race detector on the concurrency-heavy packages (the observability
+# registry/tracer/eventlog, the admin HTTP plane, the GridFTP engine with
+# its marker emitters, the hosted transfer service, and the network
+# simulator).
 #
 # Usage: ./scripts/check.sh [extra go-test args]
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "==> go build ./..."
 go build ./...
@@ -17,9 +26,10 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs, gridftp, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, admin, gridftp, transfer, netsim, usagestats)"
 go test -race "$@" \
-	./internal/obs/ \
+	./internal/obs/... \
+	./internal/admin/ \
 	./internal/gridftp/ \
 	./internal/transfer/ \
 	./internal/netsim/ \
