@@ -10,11 +10,17 @@
 //	benchreport -metrics-snapshot f    # render a metrics snapshot file (obs.WriteMetrics format)
 //	benchreport -metrics-snapshot http://127.0.0.1:9970/metrics
 //	                                   # scrape a live admin /metrics endpoint
+//	benchreport -trace-timeline src[,src...]
+//	                                   # stitch span exports (files or /debug/spans
+//	                                   # URLs) into per-trace Gantt timelines
+//	benchreport -trace-timeline a.json,b.json -trace 0123..ef
+//	                                   # render one specific trace id
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -23,6 +29,7 @@ import (
 
 	"gridftp.dev/instant/internal/experiments"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/expfmt"
 )
 
@@ -30,7 +37,17 @@ func main() {
 	exp := flag.String("exp", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	snapshot := flag.String("metrics-snapshot", "", "render a metrics snapshot and exit: a file (obs.WriteMetrics format) or an http(s):// URL of a live admin /metrics endpoint")
+	timeline := flag.String("trace-timeline", "", "comma-separated span-export sources (JSON files or http(s):// /debug/spans URLs); stitch them and render per-trace timelines")
+	traceID := flag.String("trace", "", "with -trace-timeline: render only this trace id")
 	flag.Parse()
+
+	if *timeline != "" {
+		if err := renderTimelines(strings.Split(*timeline, ","), *traceID); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *snapshot != "" {
 		if err := renderSnapshot(*snapshot); err != nil {
@@ -79,6 +96,67 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// renderTimelines loads span exports from each source (a JSON file, or an
+// http(s):// URL of an admin /debug/spans endpoint), stitches them in a
+// collector, and renders a Gantt-style timeline per trace: one row per
+// span grouped by process, critical-path spans marked '*', and uncovered
+// gaps listed. Sources default their process label to the file name /
+// URL host so multi-process traces stay readable even when the export
+// carries no process field.
+func renderTimelines(sources []string, only string) error {
+	c := collector.New()
+	for _, src := range sources {
+		src = strings.TrimSpace(src)
+		if src == "" {
+			continue
+		}
+		var raw []byte
+		label := src
+		if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+			resp, err := http.Get(src)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				return fmt.Errorf("scrape %s: %s", src, resp.Status)
+			}
+			raw, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			raw, err = os.ReadFile(src)
+			if err != nil {
+				return err
+			}
+		}
+		spans, err := collector.ParseExport(raw, label)
+		if err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+		c.Add(spans...)
+	}
+
+	ids := c.TraceIDs()
+	if only != "" {
+		ids = []string{only}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no completed spans with trace ids in %s", strings.Join(sources, ","))
+	}
+	for _, id := range ids {
+		tr := c.Stitch(id)
+		if tr == nil {
+			return fmt.Errorf("unknown trace id %s", id)
+		}
+		fmt.Println(tr.Timeline())
+	}
+	return nil
 }
 
 // renderSnapshot loads a metrics snapshot and prints it as an aligned

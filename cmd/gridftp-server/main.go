@@ -11,7 +11,7 @@
 //
 //	gridftp-server [-name siteA] [-user alice] [-password secret]
 //	               [-stripes N] [-selftest] [-oauth] [-verbose] [-metrics]
-//	               [-admin 127.0.0.1:9970]
+//	               [-admin 127.0.0.1:9970] [-collector http://host/v1/spans]
 //
 // With -admin, an HTTP admin plane (Prometheus /metrics, /healthz,
 // /readyz, /debug/spans, /debug/events, /debug/pprof/) is served on the
@@ -30,6 +30,7 @@ import (
 	"gridftp.dev/instant/internal/gcmu"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
+	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
 	flag.Parse()
 
 	o := obs.FromEnv()
@@ -51,6 +53,12 @@ func main() {
 	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
+	}
+	if *collectorURL != "" {
+		// Best-effort: a dead collector must not fail the server run.
+		if perr := collector.Push(*collectorURL, *name, o.Tracer().Spans()); perr != nil {
+			fmt.Fprintf(os.Stderr, "span export: %v\n", perr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	transfer-service [-size 8M] [-fault] [-oauth] [-verbose] [-metrics]
-//	                 [-admin 127.0.0.1:9971]
+//	                 [-admin 127.0.0.1:9971] [-collector http://host/v1/spans]
 //
 // With -admin, the HTTP admin plane (Prometheus /metrics, /debug/events,
 // ...) is served on the given address and the process holds after the
@@ -29,6 +29,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -40,6 +41,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
+	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
 	flag.Parse()
 	o := obs.FromEnv()
 	if *verbose {
@@ -48,6 +50,12 @@ func main() {
 	err := run(*sizeStr, *fault, *useOAuth, *adminAddr, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
+	}
+	if *collectorURL != "" {
+		// Best-effort: a dead collector must not fail the demo run.
+		if perr := collector.Push(*collectorURL, "transfer-service", o.Tracer().Spans()); perr != nil {
+			fmt.Fprintf(os.Stderr, "span export: %v\n", perr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)

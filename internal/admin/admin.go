@@ -212,24 +212,42 @@ func (s *Server) probeHandler(set *map[string]Probe) http.HandlerFunc {
 }
 
 // spanJSON is one span (and its subtree) in the /debug/spans response.
+// The trace/span ids make the snapshot consumable by the cross-process
+// collector (internal/obs/collector), which stitches /debug/spans
+// exports from several daemons into one distributed trace.
 type spanJSON struct {
-	ID         int64             `json:"id"`
-	Name       string            `json:"name"`
-	Start      time.Time         `json:"start"`
-	DurationMS float64           `json:"duration_ms"`
-	Ended      bool              `json:"ended"`
-	Attrs      map[string]string `json:"attrs,omitempty"`
-	Err        string            `json:"err,omitempty"`
-	Children   []*spanJSON       `json:"children,omitempty"`
+	ID           int64             `json:"id"`
+	Name         string            `json:"name"`
+	TraceID      string            `json:"trace_id,omitempty"`
+	SpanID       string            `json:"span_id,omitempty"`
+	ParentSpanID string            `json:"parent_span_id,omitempty"`
+	Start        time.Time         `json:"start"`
+	DurationMS   float64           `json:"duration_ms"`
+	Ended        bool              `json:"ended"`
+	Attrs        map[string]string `json:"attrs,omitempty"`
+	Err          string            `json:"err,omitempty"`
+	Children     []*spanJSON       `json:"children,omitempty"`
 }
 
 func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	spans := s.o.Tracer().Spans()
+	// ?trace=<hex id> narrows the snapshot to one distributed trace —
+	// what a collector scrapes when reassembling a specific transfer.
+	if want := r.URL.Query().Get("trace"); want != "" {
+		kept := spans[:0:0]
+		for _, sp := range spans {
+			if sp.TraceID == want {
+				kept = append(kept, sp)
+			}
+		}
+		spans = kept
+	}
 	nodes := make(map[int64]*spanJSON, len(spans))
 	var roots []*spanJSON
 	for _, sp := range spans {
 		nodes[sp.ID] = &spanJSON{
 			ID: sp.ID, Name: sp.Name, Start: sp.Start,
+			TraceID: sp.TraceID, SpanID: sp.SpanID, ParentSpanID: sp.ParentSpanID,
 			DurationMS: float64(sp.Duration) / float64(time.Millisecond),
 			Ended:      sp.Ended, Attrs: sp.Attrs, Err: sp.Err,
 		}

@@ -122,6 +122,60 @@ func TestSpansEndpoint(t *testing.T) {
 	}
 }
 
+// TestSpansTraceFilter checks the ?trace= query narrows the snapshot to
+// one distributed trace and that spans carry their wire ids — the
+// contract the cross-process collector scrapes against.
+func TestSpansTraceFilter(t *testing.T) {
+	o := obs.Nop()
+	t1 := o.Tracer().StartSpan("task-one")
+	t1.Child("data").End()
+	t1.End()
+	t2 := o.Tracer().StartSpan("task-two")
+	t2.End()
+	ts := httptest.NewServer(New(o).Handler())
+	defer ts.Close()
+
+	type node struct {
+		Name         string `json:"name"`
+		TraceID      string `json:"trace_id"`
+		SpanID       string `json:"span_id"`
+		ParentSpanID string `json:"parent_span_id"`
+		Children     []node `json:"children"`
+	}
+	decode := func(body string) []node {
+		var doc struct {
+			Spans []node `json:"spans"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("bad JSON: %v\n%s", err, body)
+		}
+		return doc.Spans
+	}
+
+	_, body, _ := get(t, ts, "/debug/spans")
+	if spans := decode(body); len(spans) != 2 {
+		t.Fatalf("unfiltered roots = %d, want 2", len(spans))
+	}
+
+	_, body, _ = get(t, ts, "/debug/spans?trace="+t1.TraceID.String())
+	spans := decode(body)
+	if len(spans) != 1 || spans[0].Name != "task-one" {
+		t.Fatalf("trace filter returned %+v, want only task-one", spans)
+	}
+	root := spans[0]
+	if root.TraceID != t1.TraceID.String() || root.SpanID != t1.SpanID.String() {
+		t.Errorf("root ids %s/%s, want %s/%s", root.TraceID, root.SpanID, t1.TraceID, t1.SpanID)
+	}
+	if len(root.Children) != 1 || root.Children[0].ParentSpanID != t1.SpanID.String() {
+		t.Errorf("child parent link = %+v", root.Children)
+	}
+
+	_, body, _ = get(t, ts, "/debug/spans?trace=deadbeef")
+	if spans := decode(body); len(spans) != 0 {
+		t.Errorf("unknown trace id returned %+v, want empty", spans)
+	}
+}
+
 func TestEventsEndpoint(t *testing.T) {
 	o := obs.Nop()
 	o.EventLog().Append(eventlog.SessionOpen, "session", "s1")

@@ -209,6 +209,36 @@ func (c *Client) SupportsDCSC() bool {
 	return false
 }
 
+// SupportsTrace reports whether the server advertises the TRACE feature
+// (distributed trace-context propagation via SITE TRACE).
+func (c *Client) SupportsTrace() bool {
+	feats, err := c.Features()
+	if err != nil {
+		return false
+	}
+	for _, f := range feats {
+		if strings.EqualFold(strings.TrimSpace(f), "TRACE") {
+			return true
+		}
+	}
+	return false
+}
+
+// PropagateTrace binds the server session to sc via SITE TRACE, so the
+// server's subsequent transfer spans join the caller's trace. It returns
+// joined=false with no error when sc is invalid or the server does not
+// advertise TRACE — propagation degrades to the server rooting its spans
+// locally, never to a protocol error.
+func (c *Client) PropagateTrace(sc obs.SpanContext) (joined bool, err error) {
+	if !sc.Valid() || !c.SupportsTrace() {
+		return false, nil
+	}
+	if _, err := c.cmdExpect("SITE", "TRACE "+obs.Inject(sc), ftp.CodeOK); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
 // SetParallelism negotiates the number of parallel data streams.
 func (c *Client) SetParallelism(n int) error {
 	if n == c.spec.Parallelism {

@@ -32,6 +32,7 @@ var featureList = []string{
 	"TRANSPORT TCP,UDT",
 	"ERET",
 	"MARKERS",
+	"TRACE",
 }
 
 // dispatch executes one command; it returns true when the session should
@@ -45,7 +46,13 @@ func (sess *session) dispatch(cmd ftp.Command) bool {
 	case "AUTH":
 		return sess.handleAuth(cmd.Params)
 	case "FEAT":
-		lines := append([]string{"Features:"}, featureList...)
+		lines := []string{"Features:"}
+		for _, f := range featureList {
+			if f == "TRACE" && sess.srv.cfg.DisableTrace {
+				continue
+			}
+			lines = append(lines, f)
+		}
 		lines = append(lines, "End")
 		sess.reply(ftp.CodeFeatures, lines...)
 		return false
@@ -129,7 +136,7 @@ func (sess *session) dispatch(cmd ftp.Command) bool {
 	case "ABOR":
 		sess.reply(ftp.CodeClosingData, "No transfer in progress")
 	case "SITE":
-		sess.reply(ftp.CodeOK, "SITE command ignored")
+		sess.handleSite(cmd.Params)
 	default:
 		sess.reply(ftp.CodeNotImplemented, fmt.Sprintf("Command %s not implemented", cmd.Name))
 	}

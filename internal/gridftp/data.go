@@ -471,7 +471,12 @@ func (sess *session) handleRetr(params string, off, length int64) {
 		ranges = []Range{{0, size}}
 	}
 
+	sess.cmdSpan.SetAttr("path", p)
+	sess.cmdSpan.SetAttr("size", size)
+	est := sess.cmdSpan.Child("gridftp.data.establish")
 	chans, err := sess.establishChannels(sess.spec.Parallelism)
+	est.SetError(err)
+	est.End()
 	if err != nil {
 		sess.reply(ftp.CodeCantOpenData, errText(err))
 		return
@@ -504,6 +509,7 @@ func (sess *session) handleRetr(params string, off, length int64) {
 	if sendErr != nil {
 		closeChannels(chans)
 		sess.data.flush()
+		sess.observeTransfer(time.Since(start), false)
 		sess.eventAbort("RETR", p, sendErr)
 		sess.reply(ftp.CodeTransferAborted, errText(sendErr))
 		return
@@ -541,9 +547,13 @@ func (sess *session) handleStor(params string) {
 	}
 	defer f.Close()
 
+	sess.cmdSpan.SetAttr("path", p)
 	start := time.Now()
 	if sess.spec.Mode == ModeStream {
+		est := sess.cmdSpan.Child("gridftp.data.establish")
 		chans, err := sess.establishChannels(1)
+		est.SetError(err)
+		est.End()
 		if err != nil {
 			sess.reply(ftp.CodeCantOpenData, errText(err))
 			return
@@ -557,6 +567,7 @@ func (sess *session) handleStor(params string) {
 		n, recvErr := recvStream(chans[0].sec, f, offset)
 		closeChannels(chans)
 		if recvErr != nil {
+			sess.observeTransfer(time.Since(start), false)
 			sess.eventAbort("STOR", p, recvErr)
 			sess.reply(ftp.CodeTransferAborted, errText(recvErr))
 			return
@@ -631,15 +642,18 @@ func (sess *session) handleStor(params string) {
 
 	stop := make(chan struct{})
 	markerDone := make(chan struct{})
+	// Capture the command span before launching the marker goroutine: it
+	// must not read sess.cmdSpan concurrently with the command loop.
+	cmdSpan := sess.cmdSpan
 	go func() {
 		defer close(markerDone)
 		markerEmitter(received, sess.markerInterval(), func(m string) {
 			sess.reply(ftp.CodeRestartMarker, "Range Marker "+m)
 			// Each restart marker is a durable checkpoint: record it so
 			// /debug/events shows how far a later resume could pick up.
-			sess.srv.cfg.Obs.EventLog().Append(eventlog.Checkpoint,
-				"component", "gridftp-server", "session", sess.id,
-				"path", p, "ranges", m)
+			kv := []any{"component", "gridftp-server", "session", sess.id,
+				"path", p, "ranges", m}
+			sess.srv.cfg.Obs.EventLog().Append(eventlog.Checkpoint, traceFields(kv, cmdSpan)...)
 		}, stop)
 	}()
 	// Performance markers ride alongside restart markers: restart markers
@@ -667,6 +681,7 @@ func (sess *session) handleStor(params string) {
 	if res.Err != nil {
 		closeChannels(all)
 		sess.data.flush()
+		sess.observeTransfer(time.Since(start), false)
 		sess.eventAbort("STOR", p, res.Err)
 		sess.reply(ftp.CodeTransferAborted, errText(res.Err))
 		return
@@ -729,6 +744,15 @@ func (sess *session) emitPerf(m PerfMarker) {
 	sess.reply(CodePerfMarker, perfMarkerLines(m)...)
 }
 
+// traceFields appends span's wire ids to an event's key/value list so
+// events and spans cross-reference; a nil span appends nothing.
+func traceFields(kv []any, span *obs.Span) []any {
+	if span != nil {
+		kv = append(kv, "trace", span.TraceID.String(), "span", span.SpanID.String())
+	}
+	return kv
+}
+
 // eventTransfer records a transfer lifecycle event (size < 0 = unknown,
 // e.g. an inbound STOR whose length only the sender knows).
 func (sess *session) eventTransfer(typ, op, path string, size int64) {
@@ -737,27 +761,41 @@ func (sess *session) eventTransfer(typ, op, path string, size int64) {
 	if size >= 0 {
 		kv = append(kv, "size", size)
 	}
-	sess.srv.cfg.Obs.EventLog().Append(typ, kv...)
+	sess.srv.cfg.Obs.EventLog().Append(typ, traceFields(kv, sess.cmdSpan)...)
 }
 
 func (sess *session) eventAbort(op, path string, err error) {
-	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferAbort,
-		"component", "gridftp-server", "session", sess.id,
-		"user", sess.localUser, "op", op, "path", path, "err", err.Error())
+	kv := []any{"component", "gridftp-server", "session", sess.id,
+		"user", sess.localUser, "op", op, "path", path, "err", err.Error()}
+	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferAbort, traceFields(kv, sess.cmdSpan)...)
+}
+
+// observeTransfer feeds the transfer latency histograms: the unlabeled
+// aggregate plus the ok|err outcome split.
+func (sess *session) observeTransfer(dur time.Duration, ok bool) {
+	reg := sess.srv.cfg.Obs.Registry()
+	reg.Histogram("gridftp.server.transfer_seconds", obs.DefaultDurationBuckets).
+		Observe(dur.Seconds())
+	outcome := "outcome=ok"
+	if !ok {
+		outcome = "outcome=err"
+	}
+	reg.Histogram(obs.Name("gridftp.server.transfer_seconds", outcome), obs.DefaultDurationBuckets).
+		Observe(dur.Seconds())
 }
 
 func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration) {
 	reg := sess.srv.cfg.Obs.Registry()
 	reg.Counter("gridftp.server.transfers_total").Inc()
 	reg.Counter(obs.Name("gridftp.server.bytes", op)).Add(bytes)
-	reg.Histogram("gridftp.server.transfer_seconds", obs.DefaultDurationBuckets).
-		Observe(dur.Seconds())
+	sess.observeTransfer(dur, true)
+	sess.cmdSpan.SetAttr("bytes", bytes)
 	sess.log.Info("transfer complete",
 		"op", op, "path", path, "bytes", bytes, "dur", dur.Round(time.Microsecond))
-	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferComplete,
-		"component", "gridftp-server", "session", sess.id,
+	kv := []any{"component", "gridftp-server", "session", sess.id,
 		"user", sess.localUser, "op", op, "path", path,
-		"bytes", bytes, "dur", dur.Round(time.Microsecond).String())
+		"bytes", bytes, "dur", dur.Round(time.Microsecond).String()}
+	sess.srv.cfg.Obs.EventLog().Append(eventlog.TransferComplete, traceFields(kv, sess.cmdSpan)...)
 	if sess.srv.cfg.Usage == nil {
 		return
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,10 @@ type ServerConfig struct {
 	// DisableChannelCache turns off cross-transfer data channel reuse
 	// (used by the ablation benchmark).
 	DisableChannelCache bool
+	// DisableTrace removes the TRACE feature: FEAT stops advertising it
+	// and SITE TRACE is rejected as unknown. Used to prove clients degrade
+	// gracefully against servers without distributed tracing.
+	DisableTrace bool
 	// DataTimeout bounds waits for data connections (default 30s).
 	DataTimeout time.Duration
 	// Usage, if non-nil, receives per-transfer usage reports (the
@@ -183,6 +188,19 @@ type session struct {
 	// §III.B): no data channel security, no delegation, no striping.
 	lite bool
 
+	// traceCtx is the remote trace context installed by SITE TRACE; while
+	// zero (no/invalid context), transfer spans root locally instead.
+	traceCtx obs.SpanContext
+	// cmdSpan covers the transfer command currently dispatching, so
+	// handlers deeper in the call chain can annotate it. Only the command
+	// loop goroutine touches it.
+	cmdSpan *obs.Span
+	// lastReplyCode is the most recent final (>= 200) reply code, used to
+	// classify command latency as ok|err. Written under replyMu by the
+	// command loop (marker goroutines only send 1xx replies) and read by
+	// the command loop.
+	lastReplyCode int
+
 	data sessionData
 }
 
@@ -230,6 +248,9 @@ func (sess *session) close() {
 func (sess *session) reply(code int, lines ...string) {
 	sess.replyMu.Lock()
 	defer sess.replyMu.Unlock()
+	if code >= 200 {
+		sess.lastReplyCode = code
+	}
 	if err := sess.ctrl.WriteReply(code, lines...); err != nil {
 		sess.srv.logf("reply write failed: %v", err)
 	}
@@ -239,9 +260,13 @@ func (sess *session) loop() {
 	// The per-command latency histogram is the direct view on the control
 	// channel RTT cost that dominates lots-of-small-files workloads: each
 	// file costs a handful of commands, so command latency times command
-	// count is the protocol overhead pipelining exists to hide.
-	cmdHist := sess.srv.cfg.Obs.Registry().
-		Histogram("gridftp.server.command_seconds", obs.DefaultDurationBuckets)
+	// count is the protocol overhead pipelining exists to hide. The
+	// unlabeled series is the aggregate; the outcome-labeled pair splits
+	// failed-command latency from successes.
+	reg := sess.srv.cfg.Obs.Registry()
+	cmdHist := reg.Histogram("gridftp.server.command_seconds", obs.DefaultDurationBuckets)
+	cmdOK := reg.Histogram(obs.Name("gridftp.server.command_seconds", "outcome=ok"), obs.DefaultDurationBuckets)
+	cmdErr := reg.Histogram(obs.Name("gridftp.server.command_seconds", "outcome=err"), obs.DefaultDurationBuckets)
 	for {
 		cmd, err := sess.ctrl.ReadCommand()
 		if err != nil {
@@ -250,12 +275,58 @@ func (sess *session) loop() {
 		sess.srv.logf("<- %s", cmd)
 		sess.log.Debug("command", "cmd", cmd.Name, "params", cmd.Params)
 		start := time.Now()
+		sess.beginCommandSpan(cmd)
 		quit := sess.dispatch(cmd)
-		cmdHist.Observe(time.Since(start).Seconds())
+		sess.endCommandSpan()
+		dur := time.Since(start).Seconds()
+		cmdHist.Observe(dur)
+		if sess.lastReplyCode >= 400 {
+			cmdErr.Observe(dur)
+		} else {
+			cmdOK.Observe(dur)
+		}
 		if quit {
 			return
 		}
 	}
+}
+
+// tracedCommand reports whether a command gets its own span: the transfer
+// verbs, whose server-side timing is what multi-process timelines need.
+func tracedCommand(name string) bool {
+	switch name {
+	case "RETR", "STOR", "ERET":
+		return true
+	}
+	return false
+}
+
+// beginCommandSpan starts the span covering one transfer command, bound
+// to the session's SITE TRACE context when one is installed (a zero
+// context makes StartSpanContext root the span locally).
+func (sess *session) beginCommandSpan(cmd ftp.Command) {
+	if !tracedCommand(cmd.Name) {
+		return
+	}
+	span := sess.srv.cfg.Obs.Tracer().
+		StartSpanContext("gridftp."+strings.ToLower(cmd.Name), sess.traceCtx)
+	span.SetAttr("session", sess.id)
+	if sess.srv.cfg.EndpointName != "" {
+		span.SetAttr("endpoint", sess.srv.cfg.EndpointName)
+	}
+	sess.cmdSpan = span
+}
+
+func (sess *session) endCommandSpan() {
+	if sess.cmdSpan == nil {
+		return
+	}
+	sess.cmdSpan.SetAttr("reply", sess.lastReplyCode)
+	if sess.lastReplyCode >= 400 {
+		sess.cmdSpan.SetError(fmt.Errorf("reply %d", sess.lastReplyCode))
+	}
+	sess.cmdSpan.End()
+	sess.cmdSpan = nil
 }
 
 // handleAuth performs the RFC 2228 security exchange: AUTH TLS upgrades

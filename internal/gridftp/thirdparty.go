@@ -6,6 +6,7 @@ import (
 
 	"gridftp.dev/instant/internal/ftp"
 	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/obs"
 )
 
 // DCSCTarget selects which endpoint of a third-party transfer receives a
@@ -37,6 +38,11 @@ type ThirdPartyOptions struct {
 	Restart []Range
 	// OnMarker receives restart markers from the destination.
 	OnMarker func([]Range)
+	// Trace, when valid, is forwarded to both endpoints via SITE TRACE so
+	// the source's RETR span and the destination's STOR span join the
+	// caller's distributed trace. Endpoints without the TRACE feature
+	// simply keep rooting their spans locally.
+	Trace obs.SpanContext
 }
 
 // ThirdPartyResult reports the outcome.
@@ -68,6 +74,15 @@ func ThirdParty(src *Client, srcPath string, dst *Client, dstPath string, opts T
 			if err := dst.SendDCSC(opts.DCSC); err != nil {
 				return nil, fmt.Errorf("gridftp: DCSC to destination: %w", err)
 			}
+		}
+	}
+
+	if opts.Trace.Valid() {
+		if _, err := src.PropagateTrace(opts.Trace); err != nil {
+			return nil, fmt.Errorf("gridftp: trace to source: %w", err)
+		}
+		if _, err := dst.PropagateTrace(opts.Trace); err != nil {
+			return nil, fmt.Errorf("gridftp: trace to destination: %w", err)
 		}
 	}
 

@@ -7,7 +7,7 @@
 //
 // Wire protocol (CRLF-free, one line per message, over TLS):
 //
-//	C: LOGON <username> <lifetime-seconds>
+//	C: LOGON <username> <lifetime-seconds> [traceparent]
 //	S: PROMPT <0|1> <text>        (repeated; 0 = secret prompt)
 //	C: RESPONSE <text>
 //	S: ERR <message>              (terminal)  |  S: OK
@@ -103,7 +103,7 @@ func (s *Server) serve(raw net.Conn) {
 		return
 	}
 	fields := strings.Fields(line)
-	if len(fields) != 3 || fields[0] != "LOGON" {
+	if (len(fields) != 3 && len(fields) != 4) || fields[0] != "LOGON" {
 		fmt.Fprintf(tc, "ERR expected LOGON <user> <lifetime>\n")
 		return
 	}
@@ -113,6 +113,16 @@ func (s *Server) serve(raw net.Conn) {
 		fmt.Fprintf(tc, "ERR bad lifetime\n")
 		return
 	}
+	// The optional fourth field carries the caller's traceparent. It is
+	// best-effort telemetry: a malformed value degrades to a fresh local
+	// trace rather than failing the logon.
+	var sc obs.SpanContext
+	if len(fields) == 4 {
+		sc, _ = obs.Extract(fields[3])
+	}
+	span := s.Obs.Tracer().StartSpanContext("myproxy.logon", sc)
+	span.SetAttr("user", username)
+	defer span.End()
 
 	// Tunnel the PAM conversation to the client.
 	conv := func(prompt string, echo bool) (string, error) {
@@ -140,9 +150,10 @@ func (s *Server) serve(raw net.Conn) {
 	acct, err := s.OnlineCA.Auth.Authenticate(username, conv)
 	if err != nil {
 		reg.Counter("myproxy.logons_denied").Inc()
+		span.SetError(err)
 		log.Warn("logon denied", "user", username, "err", err)
 		s.Obs.EventLog().Append(eventlog.AuthFailure,
-			"component", "myproxy", "user", username, "err", err.Error())
+			traceEventKV(span, "component", "myproxy", "user", username, "err", err.Error())...)
 		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
 	}
@@ -172,6 +183,7 @@ func (s *Server) serve(raw net.Conn) {
 	cred, err := s.OnlineCA.IssuePreauthed(acct.Name, pub, time.Duration(seconds)*time.Second)
 	if err != nil {
 		reg.Counter("myproxy.issue_failures").Inc()
+		span.SetError(err)
 		log.Warn("issue failed", "user", username, "err", err)
 		fmt.Fprintf(tc, "ERR %s\n", strings.ReplaceAll(err.Error(), "\n", " "))
 		return
@@ -188,7 +200,16 @@ func (s *Server) serve(raw net.Conn) {
 	log.Info("logon issued", "user", username,
 		"dn", string(cred.Identity()), "dur", time.Since(start).Round(time.Microsecond))
 	s.Obs.EventLog().Append(eventlog.AuthSuccess,
-		"component", "myproxy", "user", username, "dn", string(cred.Identity()))
+		traceEventKV(span, "component", "myproxy", "user", username, "dn", string(cred.Identity()))...)
+}
+
+// traceEventKV appends the span's trace/span ids (when tracing is active)
+// so MyProxy events cross-reference with the distributed trace.
+func traceEventKV(span *obs.Span, kv ...any) []any {
+	if span != nil {
+		kv = append(kv, "trace", span.TraceID.String(), "span", span.SpanID.String())
+	}
+	return kv
 }
 
 func readLine(br *bufio.Reader) (string, error) {
@@ -206,6 +227,9 @@ type LogonOptions struct {
 	// Trust validates the MyProxy server's certificate ("-b" bootstraps
 	// trust on first use when nil — see Bootstrap).
 	Trust *gsi.TrustStore
+	// Trace, when valid, rides on the LOGON request so the server's logon
+	// span joins the caller's distributed trace.
+	Trace obs.SpanContext
 }
 
 // Logon is the myproxy-logon client: it authenticates to the server with
@@ -234,7 +258,11 @@ func Logon(host *netsim.Host, addr, username string, conv pam.Conversation, opts
 	raw.SetDeadline(time.Time{})
 	br := bufio.NewReader(tc)
 
-	if _, err := fmt.Fprintf(tc, "LOGON %s %d\n", username, int(opts.Lifetime/time.Second)); err != nil {
+	req := fmt.Sprintf("LOGON %s %d", username, int(opts.Lifetime/time.Second))
+	if opts.Trace.Valid() {
+		req += " " + obs.Inject(opts.Trace)
+	}
+	if _, err := fmt.Fprintf(tc, "%s\n", req); err != nil {
 		return nil, err
 	}
 	for {

@@ -9,7 +9,10 @@
 // Registry names are dotted paths with an optional brace-delimited
 // instance ("netsim.link.bytes{siteA|siteB}"); the exposition maps dots
 // (and any other character outside [a-zA-Z0-9_:]) to underscores and the
-// instance to an instance="..." label.
+// instance to an instance="..." label. An instance containing '='
+// ("outcome=ok", or several pairs comma-separated) is treated as named
+// label pairs instead, so registries can emit dimensioned series like
+// gridftp_server_command_seconds_bucket{outcome="ok",le="1"}.
 package expfmt
 
 import (
@@ -108,11 +111,34 @@ func groupSeries(metrics []obs.Metric, kind string) (names []string, groups map[
 	return names, groups
 }
 
-func labelPair(instance string) string {
+// labelPairs renders the registry instance part as exposition label
+// pairs: a plain instance becomes instance="...", while "k=v" content
+// (comma-separated for several) becomes named labels.
+func labelPairs(instance string) []string {
 	if instance == "" {
+		return nil
+	}
+	if !strings.Contains(instance, "=") {
+		return []string{fmt.Sprintf(`instance="%s"`, escapeLabel(instance))}
+	}
+	parts := strings.Split(instance, ",")
+	out := make([]string, 0, len(parts))
+	for _, kv := range parts {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			k, v = "instance", kv
+		}
+		out = append(out, fmt.Sprintf(`%s="%s"`, SanitizeName(k), escapeLabel(v)))
+	}
+	return out
+}
+
+func labelPair(instance string) string {
+	pairs := labelPairs(instance)
+	if len(pairs) == 0 {
 		return ""
 	}
-	return fmt.Sprintf(`{instance="%s"}`, escapeLabel(instance))
+	return "{" + strings.Join(pairs, ",") + "}"
 }
 
 // WriteText renders the registry in the Prometheus text exposition
@@ -150,11 +176,8 @@ func WriteText(w io.Writer, r *obs.Registry) error {
 		fmt.Fprintf(bw, "# TYPE %s histogram\n", name)
 		for _, h := range group {
 			for i, b := range h.Bounds {
-				labels := fmt.Sprintf(`{le="%s"}`, formatLe(b))
-				if h.Name != "" {
-					labels = fmt.Sprintf(`{instance="%s",le="%s"}`, escapeLabel(h.Name), formatLe(b))
-				}
-				fmt.Fprintf(bw, "%s_bucket%s %d\n", name, labels, h.Counts[i])
+				pairs := append(labelPairs(h.Name), fmt.Sprintf(`le="%s"`, formatLe(b)))
+				fmt.Fprintf(bw, "%s_bucket{%s} %d\n", name, strings.Join(pairs, ","), h.Counts[i])
 			}
 			fmt.Fprintf(bw, "%s_sum%s %g\n", name, labelPair(h.Name), h.Sum)
 			fmt.Fprintf(bw, "%s_count%s %d\n", name, labelPair(h.Name), h.Count)
@@ -261,7 +284,7 @@ func ParseText(r io.Reader) ([]obs.Metric, error) {
 		if err != nil {
 			return nil, err
 		}
-		instance := labels["instance"]
+		instance := instanceOf(labels)
 		switch {
 		case strings.HasSuffix(name, "_bucket") && types[strings.TrimSuffix(name, "_bucket")] == "histogram":
 			base := strings.TrimSuffix(name, "_bucket")
@@ -311,6 +334,30 @@ func ParseText(r io.Reader) ([]obs.Metric, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out, nil
+}
+
+// instanceOf folds parsed labels (minus le) back into the registry
+// "name{instance}" convention: a lone instance label keeps its plain
+// value; anything else becomes sorted comma-separated k=v pairs.
+func instanceOf(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	if len(keys) == 1 && keys[0] == "instance" {
+		return labels["instance"]
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, ",")
 }
 
 func histFor(m map[string]*histAcc, key string) *histAcc {

@@ -11,8 +11,9 @@ import (
 // Tracer is a lightweight span store: spans are started (optionally under
 // a parent), annotated with attributes, and ended; the tracer keeps a
 // bounded buffer of spans so a long-running server cannot grow without
-// limit. There is no wire propagation — everything runs in-process, so a
-// *Span pointer is the trace context.
+// limit. In-process, a *Span pointer is the trace context; across
+// processes, Span.Context carries the trace/span ids that Inject/Extract
+// move over the wire and StartSpanContext rebinds on the far side.
 type Tracer struct {
 	mu     sync.Mutex
 	nextID int64
@@ -28,14 +29,23 @@ func NewTracer() *Tracer {
 	return &Tracer{}
 }
 
-// Span is one timed operation. Fields are guarded by mu; Start/parent/name
-// are immutable after creation.
+// Span is one timed operation. Fields are guarded by mu; the identity
+// fields (ids, parent links, name, start) are immutable after creation.
 type Span struct {
 	tracer *Tracer
 	ID     int64
-	Parent int64 // 0 = root
+	Parent int64 // 0 = no local parent (locally rooted)
 	Name   string
 	Start  time.Time
+
+	// Cross-process identity. TraceID is shared by every span of one
+	// trace (inherited from the parent, or from a remote SpanContext, or
+	// freshly generated for a root). ParentSpanID is the wire id of the
+	// parent span — the local parent's, or the remote caller's for spans
+	// started via StartSpanContext; zero for true roots.
+	TraceID      TraceID
+	SpanID       SpanID
+	ParentSpanID SpanID
 
 	mu    sync.Mutex
 	end   time.Time
@@ -43,18 +53,33 @@ type Span struct {
 	err   string
 }
 
-// StartSpan begins a root span.
+// StartSpan begins a root span with a freshly generated trace id.
 func (t *Tracer) StartSpan(name string) *Span {
-	return t.startSpan(name, 0)
+	return t.startSpan(name, 0, newTraceID(), SpanID{})
 }
 
-func (t *Tracer) startSpan(name string, parent int64) *Span {
+// StartSpanContext begins a span as a remote child of sc: it joins sc's
+// trace and records sc's span id as its parent, while remaining a local
+// root (Parent == 0) in this process's forest. An invalid sc degrades to
+// StartSpan — a fresh local trace — so callers never need to branch on
+// whether a peer propagated context.
+func (t *Tracer) StartSpanContext(name string, sc SpanContext) *Span {
+	if !sc.Valid() {
+		return t.StartSpan(name)
+	}
+	return t.startSpan(name, 0, sc.TraceID, sc.SpanID)
+}
+
+func (t *Tracer) startSpan(name string, parent int64, tid TraceID, parentSpanID SpanID) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	t.nextID++
-	s := &Span{tracer: t, ID: t.nextID, Parent: parent, Name: name, Start: time.Now()}
+	s := &Span{
+		tracer: t, ID: t.nextID, Parent: parent, Name: name, Start: time.Now(),
+		TraceID: tid, SpanID: newSpanID(), ParentSpanID: parentSpanID,
+	}
 	t.spans = append(t.spans, s)
 	if len(t.spans) > maxSpans {
 		t.spans = append([]*Span(nil), t.spans[len(t.spans)-maxSpans:]...)
@@ -63,13 +88,22 @@ func (t *Tracer) startSpan(name string, parent int64) *Span {
 	return s
 }
 
-// Child begins a span parented to s. A nil receiver returns nil, so call
-// chains off an absent tracer stay safe.
+// Child begins a span parented to s, inheriting its trace id. A nil
+// receiver returns nil, so call chains off an absent tracer stay safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.tracer.startSpan(name, s.ID)
+	return s.tracer.startSpan(name, s.ID, s.TraceID, s.SpanID)
+}
+
+// Context returns the span's propagatable identity. A nil receiver
+// returns the invalid zero context, which Inject renders as "".
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{TraceID: s.TraceID, SpanID: s.SpanID}
 }
 
 // SetAttr attaches a key/value attribute.
@@ -117,16 +151,21 @@ func (s *Span) Duration() time.Duration {
 	return s.end.Sub(s.Start)
 }
 
-// SpanInfo is an immutable snapshot of one span.
+// SpanInfo is an immutable snapshot of one span. TraceID/SpanID/
+// ParentSpanID are the lowercase-hex wire ids (ParentSpanID is empty for
+// true roots).
 type SpanInfo struct {
-	ID       int64
-	Parent   int64
-	Name     string
-	Start    time.Time
-	Duration time.Duration
-	Ended    bool
-	Attrs    map[string]string
-	Err      string
+	ID           int64
+	Parent       int64
+	Name         string
+	TraceID      string
+	SpanID       string
+	ParentSpanID string
+	Start        time.Time
+	Duration     time.Duration
+	Ended        bool
+	Attrs        map[string]string
+	Err          string
 }
 
 // Spans returns snapshots of all retained spans in start order.
@@ -142,8 +181,12 @@ func (t *Tracer) Spans() []SpanInfo {
 		s.mu.Lock()
 		info := SpanInfo{
 			ID: s.ID, Parent: s.Parent, Name: s.Name, Start: s.Start,
+			TraceID: s.TraceID.String(), SpanID: s.SpanID.String(),
 			Ended: !s.end.IsZero(), Err: s.err,
 			Attrs: make(map[string]string, len(s.attrs)),
+		}
+		if !s.ParentSpanID.IsZero() {
+			info.ParentSpanID = s.ParentSpanID.String()
 		}
 		if info.Ended {
 			info.Duration = s.end.Sub(s.Start)

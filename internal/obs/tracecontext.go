@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Trace context: the wire-propagatable identity of a span, modeled on the
+// W3C Trace Context recommendation. A trace id names one end-to-end
+// operation (a hosted transfer task, a logon); a span id names one timed
+// operation inside it. Processes exchange the pair as a "traceparent"
+// string over whatever channel connects them — the GridFTP control
+// channel (SITE TRACE), the MyProxy logon line — so a transfer that
+// touches four processes still forms one trace.
+//
+// Wire format (the W3C traceparent header, version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^  ^ 16-byte trace id (32 hex)      ^ 8-byte span id  ^ flags
+//
+// Extract rejects anything malformed (wrong field count, wrong lengths,
+// non-hex, all-zero ids) so a bad peer cannot poison local tracing; the
+// caller degrades to a fresh local root trace.
+
+// TraceID is the 16-byte identifier shared by every span of one trace.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String returns the id as lowercase hex (32 chars).
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String returns the id as lowercase hex (16 chars).
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext identifies a span for cross-process propagation: the trace
+// it belongs to and its own span id. The zero value is invalid (absent
+// context); Valid distinguishes the two.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether both ids are non-zero.
+func (sc SpanContext) Valid() bool { return !sc.TraceID.IsZero() && !sc.SpanID.IsZero() }
+
+// traceparentVersion is the only version Inject emits and Extract accepts.
+const traceparentVersion = "00"
+
+// Inject renders the context in traceparent form ("00-<trace>-<span>-01").
+// An invalid context renders as the empty string, which Extract rejects —
+// so Inject/Extract round-trip absence as absence.
+func Inject(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	return traceparentVersion + "-" + sc.TraceID.String() + "-" + sc.SpanID.String() + "-01"
+}
+
+// Extract parses a traceparent string. It returns an error (and the zero
+// context) for anything but a well-formed version-00 value with non-zero
+// ids.
+func Extract(tp string) (SpanContext, error) {
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: want 4 dash-separated fields, got %d", tp, len(parts))
+	}
+	if parts[0] != traceparentVersion {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: unsupported version %q", tp, parts[0])
+	}
+	if len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: bad field lengths", tp)
+	}
+	var sc SpanContext
+	if _, err := hex.Decode(sc.TraceID[:], []byte(parts[1])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: trace id: %v", tp, err)
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(parts[2])); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: span id: %v", tp, err)
+	}
+	if _, err := hex.DecodeString(parts[3]); err != nil {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: flags: %v", tp, err)
+	}
+	if !sc.Valid() {
+		return SpanContext{}, fmt.Errorf("obs: traceparent %q: all-zero id", tp)
+	}
+	return sc, nil
+}
+
+// newTraceID returns a random non-zero trace id.
+func newTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		rand.Read(t[:])
+	}
+	return t
+}
+
+// newSpanID returns a random non-zero span id.
+func newSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		rand.Read(s[:])
+	}
+	return s
+}

@@ -1,0 +1,137 @@
+package obs_test
+
+import (
+	"strings"
+	"testing"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+func TestInjectExtractRoundTrip(t *testing.T) {
+	tr := obs.NewTracer()
+	span := tr.StartSpan("op")
+	tp := obs.Inject(span.Context())
+	if !strings.HasPrefix(tp, "00-") {
+		t.Fatalf("Inject = %q, want 00- prefix", tp)
+	}
+	sc, err := obs.Extract(tp)
+	if err != nil {
+		t.Fatalf("Extract(%q): %v", tp, err)
+	}
+	if sc != span.Context() {
+		t.Fatalf("round trip mismatch: got %+v want %+v", sc, span.Context())
+	}
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-abc-def-01",
+		"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // bad version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"00-4bf92f3577b34da6a3ce929d0e0e473X-00f067aa0ba902b7-01", // non-hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",    // missing flags
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz", // non-hex flags
+	}
+	for _, tp := range cases {
+		if _, err := obs.Extract(tp); err == nil {
+			t.Errorf("Extract(%q): want error, got nil", tp)
+		}
+	}
+}
+
+func TestInjectInvalidContextIsEmpty(t *testing.T) {
+	if got := obs.Inject(obs.SpanContext{}); got != "" {
+		t.Fatalf("Inject(zero) = %q, want empty", got)
+	}
+	var nilSpan *obs.Span
+	if got := obs.Inject(nilSpan.Context()); got != "" {
+		t.Fatalf("Inject(nil span context) = %q, want empty", got)
+	}
+}
+
+func TestChildInheritsTraceID(t *testing.T) {
+	tr := obs.NewTracer()
+	root := tr.StartSpan("task")
+	child := root.Child("activate")
+	grand := child.Child("logon")
+	if root.TraceID.IsZero() {
+		t.Fatal("root span has zero trace id")
+	}
+	if child.TraceID != root.TraceID || grand.TraceID != root.TraceID {
+		t.Fatal("children did not inherit the root trace id")
+	}
+	if child.ParentSpanID != root.SpanID {
+		t.Fatal("child ParentSpanID != root SpanID")
+	}
+	if root.SpanID == child.SpanID || child.SpanID == grand.SpanID {
+		t.Fatal("span ids are not unique")
+	}
+
+	other := tr.StartSpan("task2")
+	if other.TraceID == root.TraceID {
+		t.Fatal("independent roots share a trace id")
+	}
+}
+
+func TestStartSpanContextJoinsRemoteTrace(t *testing.T) {
+	// Simulate two processes: caller starts a trace, injects it over the
+	// wire, and the callee's tracer rebinds under it.
+	caller := obs.NewTracer()
+	task := caller.StartSpan("task")
+	tp := obs.Inject(task.Context())
+
+	callee := obs.NewTracer()
+	sc, err := obs.Extract(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := callee.StartSpanContext("gridftp.stor", sc)
+	if remote.TraceID != task.TraceID {
+		t.Fatal("remote span did not join the caller's trace")
+	}
+	if remote.ParentSpanID != task.SpanID {
+		t.Fatal("remote span is not parented to the caller's span")
+	}
+	if remote.Parent != 0 {
+		t.Fatal("remote span should be a local root (Parent == 0)")
+	}
+	remote.End()
+
+	infos := callee.Spans()
+	if len(infos) != 1 {
+		t.Fatalf("callee has %d spans, want 1", len(infos))
+	}
+	if infos[0].TraceID != task.TraceID.String() || infos[0].ParentSpanID != task.SpanID.String() {
+		t.Fatalf("SpanInfo ids wrong: %+v", infos[0])
+	}
+	if roots := callee.Roots(); len(roots) != 1 {
+		t.Fatalf("remote span missing from local Roots(): %d", len(roots))
+	}
+}
+
+func TestStartSpanContextInvalidRootsLocally(t *testing.T) {
+	tr := obs.NewTracer()
+	s := tr.StartSpanContext("op", obs.SpanContext{})
+	if s.TraceID.IsZero() || s.SpanID.IsZero() {
+		t.Fatal("invalid context should degrade to a fresh local root with ids")
+	}
+	if !s.ParentSpanID.IsZero() {
+		t.Fatal("degraded root should have no parent span id")
+	}
+	info := tr.Spans()[0]
+	if info.ParentSpanID != "" {
+		t.Fatalf("root SpanInfo.ParentSpanID = %q, want empty", info.ParentSpanID)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *obs.Tracer
+	s := tr.StartSpanContext("op", obs.SpanContext{})
+	if s != nil {
+		t.Fatal("nil tracer should return nil span")
+	}
+	s.Context() // must not panic
+	s.Child("x").End()
+}

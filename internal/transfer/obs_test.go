@@ -60,13 +60,26 @@ func TestHostedTransferObservability(t *testing.T) {
 		t.Errorf("transfer.perf_markers = %d, task counted %d", v, done.PerfMarkers)
 	}
 
-	// Spans: one root "task" covering the activate/control/data phases.
-	roots := o.Trace.Roots()
-	if len(roots) != 1 {
-		t.Fatalf("%d root spans, want 1:\n%s", len(roots), o.Trace.TreeString())
+	// Spans: one root "task" covering the activate/control/data phases,
+	// plus one "activation" root per activated endpoint (each its own
+	// distributed trace joined by the MyProxy server).
+	var taskRoots, actRoots []obs.SpanInfo
+	for _, r := range o.Trace.Roots() {
+		switch r.Name {
+		case "task":
+			taskRoots = append(taskRoots, r)
+		case "activation":
+			actRoots = append(actRoots, r)
+		}
 	}
-	root := roots[0]
-	if root.Name != "task" || !root.Ended || root.Err != "" {
+	if len(taskRoots) != 1 {
+		t.Fatalf("%d root task spans, want 1:\n%s", len(taskRoots), o.Trace.TreeString())
+	}
+	if len(actRoots) != 2 {
+		t.Errorf("%d activation root spans, want 2 (one per endpoint)", len(actRoots))
+	}
+	root := taskRoots[0]
+	if !root.Ended || root.Err != "" {
 		t.Fatalf("root span %+v, want ended error-free \"task\"", root)
 	}
 	if root.Attrs["task"] != done.ID {
@@ -122,14 +135,19 @@ func TestFailedTaskSpanCarriesError(t *testing.T) {
 	if v := o.Metrics.Counter("transfer.tasks_failed").Value(); v != 1 {
 		t.Errorf("transfer.tasks_failed = %d, want 1", v)
 	}
-	roots := o.Trace.Roots()
-	if len(roots) != 1 {
-		t.Fatalf("%d root spans, want 1", len(roots))
+	var taskRoots []obs.SpanInfo
+	for _, r := range o.Trace.Roots() {
+		if r.Name == "task" {
+			taskRoots = append(taskRoots, r)
+		}
 	}
-	if roots[0].Err == "" {
+	if len(taskRoots) != 1 {
+		t.Fatalf("%d root task spans, want 1", len(taskRoots))
+	}
+	if taskRoots[0].Err == "" {
 		t.Errorf("failed task's root span has no error:\n%s", o.Trace.TreeString())
 	}
-	if !roots[0].Ended {
+	if !taskRoots[0].Ended {
 		t.Errorf("failed task's root span left open")
 	}
 }

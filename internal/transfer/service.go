@@ -190,9 +190,16 @@ func (s *Service) ActivateWithPassword(endpointName, user, password string) erro
 	s.mu.Lock()
 	s.PasswordsSeen++
 	s.mu.Unlock()
+	// The activation is its own distributed trace: the endpoint's MyProxy
+	// server joins it via the traceparent riding on the LOGON request.
+	span := s.cfg.Obs.Tracer().StartSpan("activation")
+	span.SetAttr("endpoint", endpointName)
+	span.SetAttr("user", user)
+	defer span.End()
 	cred, err := myproxy.Logon(s.host, ep.MyProxyAddr, user, pam.PasswordConv(password),
-		myproxy.LogonOptions{Trust: ep.Trust})
+		myproxy.LogonOptions{Trust: ep.Trust, Trace: span.Context()})
 	if err != nil {
+		span.SetError(err)
 		return fmt.Errorf("transfer: activation of %q failed: %w", endpointName, err)
 	}
 	s.storeActivation(endpointName, user, cred)
@@ -370,12 +377,13 @@ func (s *Service) run(task *Task) {
 	reg.Counter("transfer.tasks_total").Inc()
 	log := s.log.With("task", task.ID, "src", task.Src, "dst", task.Dst)
 	log.Info("task started", "user", task.User)
-	ev.Append(eventlog.TaskStart, "component", "transfer-service",
-		"task", task.ID, "user", task.User, "src", task.Src, "dst", task.Dst)
 	span := s.cfg.Obs.Tracer().StartSpan("task")
 	span.SetAttr("task", task.ID)
 	span.SetAttr("src", task.Src)
 	span.SetAttr("dst", task.Dst)
+	ev.Append(eventlog.TaskStart, "component", "transfer-service",
+		"task", task.ID, "user", task.User, "src", task.Src, "dst", task.Dst,
+		"trace", span.TraceID.String(), "span", span.SpanID.String())
 	var plan *transferPlan
 	var lastErr error
 	for attempt := 1; attempt <= s.cfg.RetryLimit; attempt++ {
@@ -390,21 +398,22 @@ func (s *Service) run(task *Task) {
 			span.SetAttr("attempts", attempt)
 			span.End()
 			reg.Counter("transfer.tasks_succeeded").Inc()
-			reg.Histogram("transfer.task_seconds", obs.DefaultDurationBuckets).
-				Observe(time.Since(task.Started).Seconds())
+			s.observeTask(time.Since(task.Started), true)
 			log.Info("task succeeded", "attempts", attempt,
 				"bytes", task.BytesTransferred,
 				"dur", time.Since(task.Started).Round(time.Microsecond))
 			ev.Append(eventlog.TaskComplete, "component", "transfer-service",
 				"task", task.ID, "status", string(TaskSucceeded),
-				"attempts", attempt, "bytes", task.BytesTransferred)
+				"attempts", attempt, "bytes", task.BytesTransferred,
+				"trace", span.TraceID.String())
 			return
 		}
 		lastErr = err
 		reg.Counter("transfer.attempt_failures").Inc()
 		log.Warn("attempt failed", "attempt", attempt, "err", err)
 		ev.Append(eventlog.TransferRetry, "component", "transfer-service",
-			"task", task.ID, "attempt", attempt, "err", err.Error())
+			"task", task.ID, "attempt", attempt, "err", err.Error(),
+			"trace", span.TraceID.String())
 		if s.cfg.DisableCheckpointing && plan != nil {
 			plan.markers = nil
 		}
@@ -418,9 +427,24 @@ func (s *Service) run(task *Task) {
 	span.SetError(lastErr)
 	span.End()
 	reg.Counter("transfer.tasks_failed").Inc()
+	s.observeTask(time.Since(task.Started), false)
 	log.Error("task failed", "err", lastErr)
 	ev.Append(eventlog.TaskComplete, "component", "transfer-service",
-		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error())
+		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error(),
+		"trace", span.TraceID.String())
+}
+
+// observeTask records the task duration on the aggregate histogram and on
+// the outcome-labeled series.
+func (s *Service) observeTask(dur time.Duration, ok bool) {
+	reg := s.cfg.Obs.Registry()
+	reg.Histogram("transfer.task_seconds", obs.DefaultDurationBuckets).Observe(dur.Seconds())
+	outcome := "outcome=ok"
+	if !ok {
+		outcome = "outcome=err"
+	}
+	reg.Histogram(obs.Name("transfer.task_seconds", outcome), obs.DefaultDurationBuckets).
+		Observe(dur.Seconds())
 }
 
 // attempt reauthenticates to both endpoints with the stored short-term
@@ -490,6 +514,18 @@ func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) 
 		return err
 	}
 	if err := dstClient.Delegate(2 * time.Hour); err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
+		return err
+	}
+	// Bind both servers' transfer spans to this task's trace (SITE TRACE).
+	// Endpoints without the TRACE feature keep rooting spans locally.
+	if _, err := srcClient.PropagateTrace(taskSpan.Context()); err != nil {
+		ctlSpan.SetError(err)
+		ctlSpan.End()
+		return err
+	}
+	if _, err := dstClient.PropagateTrace(taskSpan.Context()); err != nil {
 		ctlSpan.SetError(err)
 		ctlSpan.End()
 		return err

@@ -26,9 +26,10 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs tree, admin, gridftp, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, collector, admin, gridftp, transfer, netsim, usagestats)"
 go test -race "$@" \
 	./internal/obs/... \
+	./internal/obs/collector/ \
 	./internal/admin/ \
 	./internal/gridftp/ \
 	./internal/transfer/ \
