@@ -241,6 +241,37 @@ func BenchmarkE12ControlSecurity(b *testing.B) {
 	}
 }
 
+// BenchmarkE14SmallFilesScheduler measures the hosted service's
+// concurrent transfer scheduler on a many-small-files directory task over
+// high-RTT links (§VI.A task orchestration): the sequential path
+// (TaskConcurrency=1) vs the auto-sized worker fan-out.
+func BenchmarkE14SmallFilesScheduler(b *testing.B) {
+	cfg := experiments.E14Config{
+		Files:     24,
+		FileBytes: 64 << 10,
+		Link:      netsim.LinkParams{Bandwidth: 40e6, RTT: 10 * time.Millisecond, StreamWindow: 1 << 20},
+	}
+	for _, mode := range []struct {
+		name        string
+		concurrency int
+	}{
+		{"sequential", 1},
+		{"scheduled", 0},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.MeasureSchedulerRun(cfg, mode.concurrency)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			reportRate(b, last)
+		})
+	}
+}
+
 // BenchmarkAblationBlockSize sweeps MODE E block sizes.
 func BenchmarkAblationBlockSize(b *testing.B) {
 	cfg := experiments.AblationBlockSizeConfig{

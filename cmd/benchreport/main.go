@@ -5,7 +5,7 @@
 // Usage:
 //
 //	benchreport                        # run everything
-//	benchreport -exp e2                # run one experiment (e1..e12, blocksize, cache, autotune, transport)
+//	benchreport -exp e2                # run one experiment (e1..e12, e14, blocksize, cache, autotune, transport)
 //	benchreport -list                  # list experiment ids
 //	benchreport -metrics-snapshot f    # render a metrics snapshot file (obs.WriteMetrics format)
 //	benchreport -metrics-snapshot http://127.0.0.1:9970/metrics

@@ -7,8 +7,15 @@
 //
 // Usage:
 //
-//	transfer-service [-size 8M] [-fault] [-oauth] [-verbose] [-metrics]
+//	transfer-service [-size 8M] [-files 1] [-fault] [-oauth] [-verbose] [-metrics]
+//	                 [-concurrency 0] [-max-active 32] [-marker-interval 25ms]
 //	                 [-admin 127.0.0.1:9971] [-collector http://host/v1/spans]
+//
+// With -files N (N > 1), the demo transfers a directory of N files of
+// -size each, exercising the concurrent scheduler: -concurrency pins the
+// per-task worker fan-out (0 = auto-sized from file count and RTT),
+// -max-active bounds in-flight file transfers service-wide, and
+// -marker-interval sets the restart/perf marker cadence.
 //
 // With -admin, the HTTP admin plane (Prometheus /metrics, /debug/events,
 // ...) is served on the given address and the process holds after the
@@ -35,7 +42,11 @@ import (
 )
 
 func main() {
-	sizeStr := flag.String("size", "8M", "transfer size")
+	sizeStr := flag.String("size", "8M", "transfer size (per file with -files)")
+	files := flag.Int("files", 1, "number of files; > 1 transfers a directory through the scheduler")
+	concurrency := flag.Int("concurrency", 0, "per-task worker session pairs (0 = auto-size from file count and RTT)")
+	maxActive := flag.Int("max-active", 0, "service-wide cap on in-flight file transfers (0 = default 32)")
+	markerInterval := flag.Duration("marker-interval", 25*time.Millisecond, "restart/perf marker cadence requested from destination servers")
 	fault := flag.Bool("fault", false, "inject a receive-side fault at 60% and recover")
 	useOAuth := flag.Bool("oauth", false, "activate endpoints via OAuth instead of passwords")
 	verbose := flag.Bool("verbose", false, "structured debug logging to stderr")
@@ -47,7 +58,16 @@ func main() {
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
 	}
-	err := run(*sizeStr, *fault, *useOAuth, *adminAddr, o)
+	err := run(runOptions{
+		sizeStr:        *sizeStr,
+		files:          *files,
+		concurrency:    *concurrency,
+		maxActive:      *maxActive,
+		markerInterval: *markerInterval,
+		fault:          *fault,
+		useOAuth:       *useOAuth,
+		adminAddr:      *adminAddr,
+	}, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
 	}
@@ -79,8 +99,24 @@ func parseSize(s string) int {
 	return n * mult
 }
 
-func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) error {
+type runOptions struct {
+	sizeStr        string
+	files          int
+	concurrency    int
+	maxActive      int
+	markerInterval time.Duration
+	fault          bool
+	useOAuth       bool
+	adminAddr      string
+}
+
+func run(opts runOptions, o *obs.Obs) error {
+	sizeStr := opts.sizeStr
+	fault, useOAuth, adminAddr := opts.fault, opts.useOAuth, opts.adminAddr
 	size := parseSize(sizeStr)
+	if opts.files < 1 {
+		opts.files = 1
+	}
 	nw := netsim.NewNetwork()
 
 	var adm *admin.Server
@@ -124,7 +160,13 @@ func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) err
 	}
 	defer epB.Close()
 
-	svc := transfer.NewService(nw.Host("globusonline"), transfer.Config{RetryDelay: 25 * time.Millisecond, Obs: o})
+	svc := transfer.NewService(nw.Host("globusonline"), transfer.Config{
+		RetryDelay:         25 * time.Millisecond,
+		TaskConcurrency:    opts.concurrency,
+		MaxActiveTransfers: opts.maxActive,
+		MarkerInterval:     opts.markerInterval,
+		Obs:                o,
+	})
 	for _, ep := range []*gcmu.Endpoint{epA, epB} {
 		if err := svc.RegisterEndpoint(transfer.Endpoint{
 			Name: ep.Name, GridFTPAddr: ep.GridFTPAddr, MyProxyAddr: ep.MyProxyAddr,
@@ -163,25 +205,43 @@ func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) err
 		fmt.Printf("  password activation: passwords seen by the service = %d (Fig 6)\n", svc.PasswordsSeen)
 	}
 
-	// Seed the source file.
+	// Seed the source: one file, or a directory of -files files.
 	payload := make([]byte, size)
 	for i := range payload {
 		payload[i] = byte(i * 13)
 	}
-	f, err := epA.Storage.Create("alice", "/dataset.bin")
-	if err != nil {
-		return err
+	srcPath, dstPath := "/dataset.bin", "/dataset.bin"
+	if opts.files > 1 {
+		srcPath, dstPath = "/dataset", "/dataset"
+		if err := epA.Storage.Mkdir("alice", srcPath); err != nil {
+			return err
+		}
 	}
-	dsi.WriteAll(f, payload)
-	f.Close()
+	for i := 0; i < opts.files; i++ {
+		path := srcPath
+		if opts.files > 1 {
+			path = fmt.Sprintf("%s/f%03d.bin", srcPath, i)
+		}
+		f, err := epA.Storage.Create("alice", path)
+		if err != nil {
+			return err
+		}
+		dsi.WriteAll(f, payload)
+		f.Close()
+	}
 
 	if fault {
 		faultB.Arm(int64(float64(size) * 0.6))
 		fmt.Printf("\nfault armed: site B's storage will fail after %d bytes\n", int(float64(size)*0.6))
 	}
 
-	fmt.Printf("\nsubmitting third-party transfer siteA:/dataset.bin -> siteB:/dataset.bin (%s)...\n", sizeStr)
-	task, err := svc.Submit("alice", "siteA", "/dataset.bin", "siteB", "/dataset.bin")
+	if opts.files > 1 {
+		fmt.Printf("\nsubmitting directory transfer siteA:%s -> siteB:%s (%d x %s)...\n",
+			srcPath, dstPath, opts.files, sizeStr)
+	} else {
+		fmt.Printf("\nsubmitting third-party transfer siteA:%s -> siteB:%s (%s)...\n", srcPath, dstPath, sizeStr)
+	}
+	task, err := svc.Submit("alice", "siteA", srcPath, "siteB", dstPath)
 	if err != nil {
 		return err
 	}
@@ -192,9 +252,13 @@ func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) err
 	fmt.Printf("\ntask %s: %s\n", done.ID, done.Status)
 	fmt.Printf("  attempts:        %d\n", done.Attempts)
 	fmt.Printf("  parallelism:     %d (auto-tuned for %s)\n", done.Parallelism, sizeStr)
-	fmt.Printf("  bytes moved:     %d (file %d)\n", done.BytesTransferred, size)
+	if opts.files > 1 {
+		fmt.Printf("  scheduler:       %d worker session pairs, %d/%d files\n",
+			done.Workers, done.CompletedFiles, done.TotalFiles)
+	}
+	fmt.Printf("  bytes moved:     %d (payload %d)\n", done.BytesTransferred, size*opts.files)
 	fmt.Printf("  perf markers:    %d observed in flight (last total %d bytes)\n", done.PerfMarkers, done.PerfBytes)
-	if done.Attempts > 1 {
+	if done.Attempts > 1 && opts.files == 1 {
 		saved := int64(done.Attempts)*int64(size) - done.BytesTransferred
 		fmt.Printf("  checkpointing:   restart markers avoided resending ~%d bytes\n", saved)
 	}
@@ -202,8 +266,12 @@ func run(sizeStr string, fault, useOAuth bool, adminAddr string, o *obs.Obs) err
 	if done.Error != "" {
 		return fmt.Errorf("task failed: %s", done.Error)
 	}
-	// Verify content.
-	g, err := epB.Storage.Open("alice", "/dataset.bin")
+	// Verify content (the single file, or the last file of the directory).
+	verifyPath := dstPath
+	if opts.files > 1 {
+		verifyPath = fmt.Sprintf("%s/f%03d.bin", dstPath, opts.files-1)
+	}
+	g, err := epB.Storage.Open("alice", verifyPath)
 	if err != nil {
 		return err
 	}

@@ -254,6 +254,7 @@ func All() []func() (*Table, error) {
 		func() (*Table, error) { return RunE10Workflow() },
 		func() (*Table, error) { return RunE11OAuthAudit() },
 		func() (*Table, error) { return RunE12ControlSecurity() },
+		func() (*Table, error) { return RunE14Scheduler(DefaultE14()) },
 		func() (*Table, error) { return RunAblationBlockSize(DefaultAblationBlockSize()) },
 		func() (*Table, error) { return RunAblationChannelCache(DefaultAblationCache()) },
 		func() (*Table, error) { return RunAblationAutotune(DefaultAblationAutotune()) },
@@ -276,6 +277,7 @@ func ByID() map[string]func() (*Table, error) {
 		"e10":       func() (*Table, error) { return RunE10Workflow() },
 		"e11":       func() (*Table, error) { return RunE11OAuthAudit() },
 		"e12":       func() (*Table, error) { return RunE12ControlSecurity() },
+		"e14":       func() (*Table, error) { return RunE14Scheduler(DefaultE14()) },
 		"blocksize": func() (*Table, error) { return RunAblationBlockSize(DefaultAblationBlockSize()) },
 		"cache":     func() (*Table, error) { return RunAblationChannelCache(DefaultAblationCache()) },
 		"autotune":  func() (*Table, error) { return RunAblationAutotune(DefaultAblationAutotune()) },

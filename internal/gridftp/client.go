@@ -152,8 +152,16 @@ func (c *Client) flushPools() {
 	c.passiveAddrs = nil
 }
 
+// countCommand records one control-channel command on the per-verb
+// counter, giving observability stacks (and tests) a command trace: e.g.
+// asserting a directory transfer issued zero per-file SIZE commands.
+func (c *Client) countCommand(name string) {
+	c.obs.Registry().Counter(obs.Name("gridftp.client.commands", "cmd="+name)).Inc()
+}
+
 // cmdExpect sends a command and requires one of the given reply codes.
 func (c *Client) cmdExpect(name, params string, want ...int) (ftp.Reply, error) {
+	c.countCommand(name)
 	if err := c.ctrl.Cmd(name, "%s", params); err != nil {
 		return ftp.Reply{}, err
 	}
@@ -167,6 +175,7 @@ func (c *Client) Delegate(lifetime time.Duration) error {
 	if c.cred == nil {
 		return ErrLiteNoDelegation
 	}
+	c.countCommand("DELG")
 	if err := c.ctrl.Cmd("DELG", ""); err != nil {
 		return err
 	}
@@ -658,6 +667,7 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 		if err := c.ensurePassive(); err != nil {
 			return nil, err
 		}
+		c.countCommand("STOR")
 		if err := c.ctrl.Cmd("STOR", "%s", path); err != nil {
 			return nil, err
 		}
@@ -694,6 +704,7 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 			return nil, err
 		}
 	}
+	c.countCommand("STOR")
 	if err := c.ctrl.Cmd("STOR", "%s", path); err != nil {
 		return nil, err
 	}
@@ -755,6 +766,7 @@ func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*
 		if err := c.ensureListener(); err != nil {
 			return nil, err
 		}
+		c.countCommand(verb)
 		if err := c.ctrl.Cmd(verb, "%s", params); err != nil {
 			return nil, err
 		}
@@ -794,6 +806,7 @@ func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*
 			return nil, err
 		}
 	}
+	c.countCommand(verb)
 	if err := c.ctrl.Cmd(verb, "%s", params); err != nil {
 		return nil, err
 	}
@@ -987,6 +1000,7 @@ func (c *Client) List(path string) ([]string, error) {
 	if err := c.ensurePassive(); err != nil {
 		return nil, err
 	}
+	c.countCommand("MLSD")
 	if err := c.ctrl.Cmd("MLSD", "%s", path); err != nil {
 		return nil, err
 	}

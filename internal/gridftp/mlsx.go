@@ -71,10 +71,20 @@ func (c *Client) StatEntry(path string) (MlsxEntry, error) {
 	return ParseMlsxLine(line)
 }
 
-// Walk lists path recursively, returning slash-joined paths relative to
-// path for every regular file (directories are traversed, not returned).
-func (c *Client) Walk(path string) ([]string, error) {
-	var files []string
+// WalkEntry is one regular file found by WalkEntries: its slash-joined
+// path relative to the walk root, and its size as reported by the MLSD
+// Size fact — so callers planning transfers need no per-file SIZE round
+// trip afterwards.
+type WalkEntry struct {
+	Rel  string
+	Size int64
+}
+
+// WalkEntries lists path recursively, returning a WalkEntry (relative
+// path plus size) for every regular file. Directories are traversed, not
+// returned.
+func (c *Client) WalkEntries(path string) ([]WalkEntry, error) {
+	var files []WalkEntry
 	var walk func(rel string) error
 	walk = func(rel string) error {
 		full := strings.TrimSuffix(path, "/")
@@ -95,13 +105,27 @@ func (c *Client) Walk(path string) ([]string, error) {
 					return err
 				}
 			} else {
-				files = append(files, childRel)
+				files = append(files, WalkEntry{Rel: childRel, Size: e.Size})
 			}
 		}
 		return nil
 	}
 	if err := walk(""); err != nil {
 		return nil, err
+	}
+	return files, nil
+}
+
+// Walk lists path recursively, returning slash-joined paths relative to
+// path for every regular file (directories are traversed, not returned).
+func (c *Client) Walk(path string) ([]string, error) {
+	entries, err := c.WalkEntries(path)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, len(entries))
+	for i, e := range entries {
+		files[i] = e.Rel
 	}
 	return files, nil
 }

@@ -112,9 +112,11 @@ func ThirdParty(src *Client, srcPath string, dst *Client, dstPath string, opts T
 
 	// Issue STOR on the destination and RETR on the source; the replies
 	// stream back concurrently on the two control channels.
+	dst.countCommand("STOR")
 	if err := dst.ctrl.Cmd("STOR", "%s", dstPath); err != nil {
 		return nil, err
 	}
+	src.countCommand("RETR")
 	if err := src.ctrl.Cmd("RETR", "%s", srcPath); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,563 @@
+package transfer
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/gridftp"
+	"gridftp.dev/instant/internal/gsi"
+	"gridftp.dev/instant/internal/obs"
+)
+
+// This file is the concurrent transfer scheduler: a task's file plan fans
+// out to K worker pairs of control sessions, each draining a shared
+// per-task queue of pending files and running third-party transfers
+// concurrently, with the service-wide total bounded by the
+// Config.MaxActiveTransfers semaphore. Checkpointing is a per-file
+// completion set plus per-file restart markers, so an attempt that dies
+// with files in flight on several workers resumes only what is actually
+// unfinished.
+
+// maxTaskWorkers caps a single task's fan-out regardless of file count.
+const maxTaskWorkers = 8
+
+// planFile is one file of a task's plan: its path relative to the task
+// root ("" for a single-file task) and its size, learned from the MLSx
+// Size fact during the walk — the scheduler never issues per-file SIZE.
+type planFile struct {
+	rel  string
+	size int64
+}
+
+// transferPlan is the durable state a task carries across attempts: the
+// file list, the per-file completion set, and per-file restart markers
+// for files that died in flight. Workers on several goroutines update it
+// concurrently.
+type transferPlan struct {
+	mu      sync.Mutex
+	files   []planFile
+	done    []bool
+	markers [][]gridftp.Range
+}
+
+func newTransferPlan(files []planFile) *transferPlan {
+	return &transferPlan{
+		files:   files,
+		done:    make([]bool, len(files)),
+		markers: make([][]gridftp.Range, len(files)),
+	}
+}
+
+// pending returns the indices of files not yet completed.
+func (p *transferPlan) pending() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var idx []int
+	for i, d := range p.done {
+		if !d {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// complete marks file i done and drops its markers.
+func (p *transferPlan) complete(i int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done[i] = true
+	p.markers[i] = nil
+}
+
+// doneCount returns how many files have completed.
+func (p *transferPlan) doneCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, d := range p.done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// saveMarkers records the latest restart markers for an in-flight file.
+func (p *transferPlan) saveMarkers(i int, rs []gridftp.Range) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.markers[i] = rs
+}
+
+// takeMarkers returns file i's saved restart markers.
+func (p *transferPlan) takeMarkers(i int) []gridftp.Range {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.markers[i]
+}
+
+// clearMarkers drops every file's restart markers (the checkpointing
+// ablation: retries restart each unfinished file from byte 0).
+func (p *transferPlan) clearMarkers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.markers {
+		p.markers[i] = nil
+	}
+}
+
+// sessionPair is one worker's pair of authenticated, delegated control
+// sessions (source + destination).
+type sessionPair struct {
+	src, dst *gridftp.Client
+}
+
+func (p *sessionPair) Close() {
+	if p.src != nil {
+		p.src.Close()
+	}
+	if p.dst != nil {
+		p.dst.Close()
+	}
+}
+
+// measureRTT times one NOOP round trip on the source control channel —
+// the task's estimate of per-command latency, which sizes the fan-out
+// and the autotuner's stream budget.
+func (p *sessionPair) measureRTT() time.Duration {
+	start := time.Now()
+	if err := p.src.Noop(); err != nil {
+		return 0
+	}
+	return time.Since(start)
+}
+
+// dialPair opens one worker's session pair: dial both endpoints,
+// delegate, join the caller's trace, set the marker cadence, and — for
+// cross-CA endpoint pairs — install the source credential on the
+// destination via DCSC once per session instead of once per file.
+func (s *Service) dialPair(srcEP, dstEP *Endpoint, srcProxy, dstProxy *gsi.Credential, sc obs.SpanContext, crossCA bool) (*sessionPair, error) {
+	dialOpts := gridftp.DialOptions{Obs: s.cfg.Obs}
+	src, err := gridftp.DialWithOptions(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust, dialOpts)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := gridftp.DialWithOptions(s.host, dstEP.GridFTPAddr, dstProxy, dstEP.Trust, dialOpts)
+	if err != nil {
+		src.Close()
+		return nil, err
+	}
+	pair := &sessionPair{src: src, dst: dst}
+	for _, step := range []func() error{
+		func() error { return src.Delegate(2 * time.Hour) },
+		func() error { return dst.Delegate(2 * time.Hour) },
+		// Bind both servers' transfer spans to the caller's trace (SITE
+		// TRACE). Endpoints without the feature keep rooting locally.
+		func() error { _, err := src.PropagateTrace(sc); return err },
+		func() error { _, err := dst.PropagateTrace(sc); return err },
+		func() error { return dst.SetMarkerInterval(s.cfg.MarkerInterval) },
+	} {
+		if err := step(); err != nil {
+			pair.Close()
+			return nil, err
+		}
+	}
+	if crossCA {
+		if err := dst.SendDCSC(srcProxy); err != nil {
+			pair.Close()
+			return nil, err
+		}
+	}
+	return pair, nil
+}
+
+// workerCount sizes a task's fan-out: an explicit Config.TaskConcurrency
+// wins; otherwise one worker per dozen pending files, twice as many on
+// high-RTT paths where per-file control latency dominates, clamped to
+// [1, maxTaskWorkers] and to the pending file count.
+func (s *Service) workerCount(pending int, rtt time.Duration) int {
+	k := s.cfg.TaskConcurrency
+	if k <= 0 {
+		per := 12
+		if rtt >= 10*time.Millisecond {
+			per = 6
+		}
+		k = (pending + per - 1) / per
+		if k > maxTaskWorkers {
+			k = maxTaskWorkers
+		}
+	}
+	if k > pending {
+		k = pending
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// autotuner implements the §VI.A "automatically tune GridFTP transfer
+// options" policy, upgraded from a static size table: per-file
+// parallelism seeds from the file size, the task's total stream budget
+// scales with the measured control RTT (long fat links need more
+// concurrent streams to fill), the budget is divided across the task's
+// workers, and live throughput feedback backs the budget off when the
+// workers share a bottleneck link.
+type autotuner struct {
+	disabled bool
+
+	mu      sync.Mutex
+	workers int
+	budget  int     // total streams across all workers
+	best    float64 // best per-stream throughput observed (bytes/sec)
+}
+
+func newAutotuner(cfg Config, rtt time.Duration, workers int) *autotuner {
+	a := &autotuner{disabled: cfg.DisableAutotune, workers: workers, budget: 8}
+	if rtt >= 5*time.Millisecond {
+		a.budget = 16
+	}
+	if a.budget < workers {
+		a.budget = workers
+	}
+	return a
+}
+
+// sizeStreams is the size-seeded parallelism (the original static
+// autotune table).
+func sizeStreams(size int64) int {
+	switch {
+	case size >= 100<<20:
+		return 8
+	case size >= 10<<20:
+		return 4
+	case size >= 1<<20:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// streamsFor picks the parallelism for one file: the size seed clamped
+// to this worker's share of the task budget.
+func (a *autotuner) streamsFor(size int64) int {
+	if a.disabled {
+		return 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	share := a.budget / a.workers
+	if share < 1 {
+		share = 1
+	}
+	n := sizeStreams(size)
+	if n > share {
+		n = share
+	}
+	return n
+}
+
+// budgetNow reports the current total stream budget (for metrics).
+func (a *autotuner) budgetNow() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.budget
+}
+
+// observe feeds one completed file's achieved throughput back (the same
+// signal the live 112 PERF markers carry, measured at file granularity).
+// A per-stream rate that collapses below half the best seen means the
+// workers are sharing a bottleneck — adding streams is not adding
+// bandwidth — so the total budget backs off toward one stream per worker
+// instead of letting K workers each push a full complement.
+func (a *autotuner) observe(bytes int64, dur time.Duration, streams int) {
+	if a.disabled || dur <= 0 || streams <= 0 {
+		return
+	}
+	perStream := float64(bytes) / dur.Seconds() / float64(streams)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if perStream > a.best {
+		a.best = perStream
+		return
+	}
+	if perStream < a.best/2 && a.budget > a.workers {
+		a.budget /= 2
+		if a.budget < a.workers {
+			a.budget = a.workers
+		}
+	}
+}
+
+// perfAgg aggregates in-flight 112 PERF-marker progress across a task's
+// workers into the task's live PerfBytes/PerfMarkers view.
+type perfAgg struct {
+	svc  *Service
+	task *Task
+
+	mu      sync.Mutex
+	bytes   []int64
+	markers []int
+}
+
+func newPerfAgg(svc *Service, task *Task, workers int) *perfAgg {
+	return &perfAgg{svc: svc, task: task, bytes: make([]int64, workers), markers: make([]int, workers)}
+}
+
+// report records worker slot's latest per-session perf snapshot and
+// refreshes the task's aggregate view.
+func (g *perfAgg) report(slot int, total int64, markers int) {
+	g.mu.Lock()
+	g.bytes[slot] = total
+	g.markers[slot] = markers
+	var sumBytes int64
+	sumMarkers := 0
+	for i := range g.bytes {
+		sumBytes += g.bytes[i]
+		sumMarkers += g.markers[i]
+	}
+	g.mu.Unlock()
+	g.svc.cfg.Obs.Registry().Counter("transfer.perf_markers").Inc()
+	g.svc.update(g.task, func(t *Task) {
+		t.PerfBytes = sumBytes
+		t.PerfMarkers = sumMarkers
+	})
+}
+
+// workerRun is the shared context one scheduler worker drains.
+type workerRun struct {
+	task   *Task
+	plan   *transferPlan
+	tuner  *autotuner
+	agg    *perfAgg
+	queue  chan int
+	stop   chan struct{}
+	parent *obs.Span // span the worker's data spans attach to
+	slot   int
+}
+
+// runWorker drains the task queue over one session pair until the queue
+// is empty, a file fails, or another worker signals stop.
+func (s *Service) runWorker(r workerRun, pair *sessionPair) error {
+	pair.dst.OnPerf(func(gridftp.PerfMarker) {
+		total, _, markers := pair.dst.PerfSnapshot()
+		r.agg.report(r.slot, total, markers)
+	})
+	for i := range r.queue {
+		select {
+		case <-r.stop:
+			return nil
+		default:
+		}
+		if err := s.transferOne(r, pair, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// transferOne moves one plan file third-party, bounded by the global
+// MaxActiveTransfers semaphore, resuming from the file's saved restart
+// markers and checkpointing new ones as the destination reports them.
+func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
+	reg := s.cfg.Obs.Registry()
+
+	// Global admission: a million-user fleet degrades gracefully instead
+	// of thundering. The wait is observable per file.
+	waitStart := time.Now()
+	s.sem <- struct{}{}
+	reg.Histogram("transfer.queue_wait_seconds", obs.DefaultDurationBuckets).
+		Observe(time.Since(waitStart).Seconds())
+	active := reg.Gauge("transfer.active_transfers")
+	active.Add(1)
+	reg.Gauge("transfer.active_transfers_peak").Max(active.Value())
+	defer func() {
+		active.Add(-1)
+		<-s.sem
+	}()
+
+	f := r.plan.files[i]
+	srcPath, dstPath := r.task.SrcPath, r.task.DstPath
+	if f.rel != "" {
+		srcPath = strings.TrimSuffix(r.task.SrcPath, "/") + "/" + f.rel
+		dstPath = strings.TrimSuffix(r.task.DstPath, "/") + "/" + f.rel
+	}
+
+	par := r.tuner.streamsFor(f.size)
+	s.update(r.task, func(t *Task) { t.FileSize = f.size; t.Parallelism = par })
+	// SetParallelism is a no-op round trip when the value is unchanged,
+	// so steady-state small-file streaks negotiate once per worker.
+	if err := pair.src.SetParallelism(par); err != nil {
+		return err
+	}
+	if err := pair.dst.SetParallelism(par); err != nil {
+		return err
+	}
+	reg.Gauge("transfer.stream_budget").Set(int64(r.tuner.budgetNow()))
+
+	restart := r.plan.takeMarkers(i)
+	already := gridftp.FromRanges(restart).Covered()
+	latest := restart
+	opts := gridftp.ThirdPartyOptions{
+		Restart: restart,
+		OnMarker: func(rs []gridftp.Range) {
+			latest = rs
+			r.plan.saveMarkers(i, rs)
+			s.update(r.task, func(t *Task) { t.Markers = rs })
+		},
+	}
+
+	// Data phase: one span per file, third-party MODE E transfer.
+	dataSpan := r.parent.Child("data")
+	dataSpan.SetAttr("path", srcPath)
+	dataSpan.SetAttr("size", f.size)
+	dataSpan.SetAttr("parallelism", par)
+	start := time.Now()
+	_, terr := gridftp.ThirdParty(pair.src, srcPath, pair.dst, dstPath, opts)
+	if terr != nil {
+		dataSpan.SetError(terr)
+		dataSpan.End()
+		movedNow := gridftp.FromRanges(latest).Covered() - already
+		if movedNow < 0 {
+			movedNow = 0
+		}
+		r.plan.saveMarkers(i, latest)
+		s.update(r.task, func(t *Task) { t.BytesTransferred += movedNow })
+		reg.Counter("transfer.bytes_total").Add(movedNow)
+		return terr
+	}
+	dataSpan.End()
+	r.tuner.observe(f.size-already, time.Since(start), par)
+	r.plan.complete(i)
+	done := r.plan.doneCount()
+	s.update(r.task, func(t *Task) {
+		t.BytesTransferred += f.size - already
+		t.CompletedFiles = done
+		t.Markers = nil
+	})
+	reg.Counter("transfer.bytes_total").Add(f.size - already)
+	reg.Counter("transfer.files_total").Inc()
+	return nil
+}
+
+// schedule fans the plan's pending files out across workers: worker 0
+// reuses the primary session pair, workers 1..K-1 dial their own, and
+// all drain the shared queue until it is empty or a file fails. With a
+// single worker the task span owns the data spans directly (the
+// sequential shape); with K > 1 each worker gets a child span.
+func (s *Service) schedule(task *Task, plan *transferPlan, primary *sessionPair,
+	srcEP, dstEP *Endpoint, srcProxy, dstProxy *gsi.Credential,
+	taskSpan *obs.Span, pending []int, workers int, tuner *autotuner) error {
+
+	queue := make(chan int, len(pending))
+	for _, i := range pending {
+		queue <- i
+	}
+	close(queue)
+	stop := make(chan struct{})
+	agg := newPerfAgg(s, task, workers)
+
+	if workers == 1 {
+		return s.runWorker(workerRun{
+			task: task, plan: plan, tuner: tuner, agg: agg,
+			queue: queue, stop: stop, parent: taskSpan, slot: 0,
+		}, primary)
+	}
+
+	crossCA := task.crossCA(srcEP, dstEP)
+	activeWorkers := s.cfg.Obs.Registry().Gauge("transfer.active_workers")
+	var (
+		wg       sync.WaitGroup
+		stopOnce sync.Once
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wspan := taskSpan.Child("worker")
+			wspan.SetAttr("worker", w)
+			defer wspan.End()
+			activeWorkers.Add(1)
+			defer activeWorkers.Add(-1)
+			pair := primary
+			if w != 0 {
+				var err error
+				pair, err = s.dialPair(srcEP, dstEP, srcProxy, dstProxy, wspan.Context(), crossCA)
+				if err != nil {
+					wspan.SetError(err)
+					fail(err)
+					return
+				}
+				defer pair.Close()
+			}
+			if err := s.runWorker(workerRun{
+				task: task, plan: plan, tuner: tuner, agg: agg,
+				queue: queue, stop: stop, parent: wspan, slot: w,
+			}, pair); err != nil {
+				wspan.SetError(err)
+				fail(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// buildPlan resolves the task source into a file plan with sizes —
+// single files via the MLST Size fact, directories via WalkEntries, so
+// no per-file SIZE command is ever needed — and creates the destination
+// directory tree for recursive transfers.
+func (s *Service) buildPlan(task *Task, src, dst *gridftp.Client) (*transferPlan, error) {
+	entry, err := src.StatEntry(task.SrcPath)
+	if err != nil {
+		return nil, err
+	}
+	if !entry.IsDir {
+		return newTransferPlan([]planFile{{rel: "", size: entry.Size}}), nil
+	}
+	entries, err := src.WalkEntries(task.SrcPath)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Rel < entries[j].Rel })
+	files := make([]planFile, len(entries))
+	for i, e := range entries {
+		files[i] = planFile{rel: e.Rel, size: e.Size}
+	}
+	// Create the destination tree (root plus every parent directory).
+	dirs := map[string]bool{strings.TrimSuffix(task.DstPath, "/"): true}
+	for _, f := range files {
+		d := strings.TrimSuffix(task.DstPath, "/")
+		parts := strings.Split(f.rel, "/")
+		for _, p := range parts[:len(parts)-1] {
+			d += "/" + p
+			dirs[d] = true
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted) // parents before children
+	for _, d := range sorted {
+		if err := dst.Mkdir(d); err != nil {
+			// Tolerate pre-existing directories.
+			if _, serr := dst.StatEntry(d); serr != nil {
+				return nil, err
+			}
+		}
+	}
+	return newTransferPlan(files), nil
+}

@@ -10,8 +10,6 @@ package transfer
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -73,11 +71,12 @@ type Task struct {
 	// checkpointing, retries move only the missing remainder.
 	BytesTransferred int64
 	FileSize         int64
-	// PerfBytes is the in-flight progress of the current file as reported
-	// by 112 performance markers (sum across stripes); PerfMarkers counts
-	// how many markers the current attempt has observed. Unlike
-	// BytesTransferred (updated at file completion), these move *during*
-	// the transfer — they are the service's live progress view.
+	// PerfBytes is the in-flight progress of the current attempt as
+	// reported by 112 performance markers, summed across stripes and
+	// across the task's scheduler workers; PerfMarkers counts how many
+	// markers the current attempt has observed. Unlike BytesTransferred
+	// (updated at file completion), these move *during* the transfer —
+	// they are the service's live progress view.
 	PerfBytes   int64
 	PerfMarkers int
 	Error       string
@@ -85,6 +84,9 @@ type Task struct {
 	Started     time.Time
 	Finished    time.Time
 	Parallelism int
+	// Workers is the scheduler fan-out the last attempt used (K control
+	// session pairs draining the task's file queue).
+	Workers int
 }
 
 // Config tunes the service.
@@ -99,8 +101,20 @@ type Config struct {
 	// DisableAutotune pins parallelism to 1 instead of sizing it to the
 	// file (ablation).
 	DisableAutotune bool
+	// TaskConcurrency fixes the number of worker session pairs a task
+	// fans its file plan out to. 0 (the default) auto-sizes from the
+	// pending file count and the measured control-channel RTT.
+	TaskConcurrency int
+	// MaxActiveTransfers bounds concurrent file transfers service-wide
+	// (across all tasks and workers), so a large fleet degrades
+	// gracefully instead of thundering. Default 32.
+	MaxActiveTransfers int
+	// MarkerInterval is the restart/perf marker cadence requested from
+	// destination servers (OPTS RETR Markers). Default 25ms.
+	MarkerInterval time.Duration
 	// Obs receives structured logs, metrics, and per-task span trees
-	// (activation → control → data). Nil disables observability.
+	// (activation → control → data, plus per-worker spans when a task
+	// fans out). Nil disables observability.
 	Obs *obs.Obs
 }
 
@@ -116,6 +130,10 @@ type Service struct {
 	tasks       map[string]*Task
 	nextTask    int
 
+	// sem is the global MaxActiveTransfers admission semaphore: one slot
+	// per in-flight file transfer, across all tasks and workers.
+	sem chan struct{}
+
 	// PasswordsSeen counts secrets that flowed through the service —
 	// the quantity OAuth activation drives to zero (§VI, Fig 7).
 	PasswordsSeen int
@@ -129,6 +147,12 @@ func NewService(host *netsim.Host, cfg Config) *Service {
 	if cfg.RetryDelay == 0 {
 		cfg.RetryDelay = 50 * time.Millisecond
 	}
+	if cfg.MaxActiveTransfers <= 0 {
+		cfg.MaxActiveTransfers = 32
+	}
+	if cfg.MarkerInterval <= 0 {
+		cfg.MarkerInterval = 25 * time.Millisecond
+	}
 	return &Service{
 		host:        host,
 		cfg:         cfg,
@@ -136,6 +160,7 @@ func NewService(host *netsim.Host, cfg Config) *Service {
 		endpoints:   make(map[string]*Endpoint),
 		activations: make(map[string]*activation),
 		tasks:       make(map[string]*Task),
+		sem:         make(chan struct{}, cfg.MaxActiveTransfers),
 	}
 }
 
@@ -342,34 +367,7 @@ func (s *Service) update(task *Task, f func(*Task)) {
 	f(task)
 }
 
-// autotune picks the parallelism Globus Online would (§VI.A: "the ability
-// to automatically tune GridFTP transfer options for high performance").
-func (s *Service) autotune(size int64) int {
-	if s.cfg.DisableAutotune {
-		return 1
-	}
-	switch {
-	case size >= 100<<20:
-		return 8
-	case size >= 10<<20:
-		return 4
-	case size >= 1<<20:
-		return 2
-	default:
-		return 1
-	}
-}
-
 // run drives one task to completion, retrying from restart markers.
-// transferPlan is the durable state a task carries across attempts: the
-// file list (one empty-string entry for a single-file task), the index of
-// the first incomplete file, and the restart markers for it.
-type transferPlan struct {
-	files   []string
-	next    int
-	markers []gridftp.Range
-}
-
 func (s *Service) run(task *Task) {
 	s.update(task, func(t *Task) { t.Status = TaskActive })
 	reg := s.cfg.Obs.Registry()
@@ -415,9 +413,13 @@ func (s *Service) run(task *Task) {
 			"task", task.ID, "attempt", attempt, "err", err.Error(),
 			"trace", span.TraceID.String())
 		if s.cfg.DisableCheckpointing && plan != nil {
-			plan.markers = nil
+			plan.clearMarkers()
 		}
-		time.Sleep(s.cfg.RetryDelay)
+		// Sleep only between attempts: a permanently failing task should
+		// report failure immediately after its last attempt.
+		if attempt < s.cfg.RetryLimit {
+			time.Sleep(s.cfg.RetryDelay)
+		}
 	}
 	s.update(task, func(t *Task) {
 		t.Status = TaskFailed
@@ -449,9 +451,10 @@ func (s *Service) observeTask(dur time.Duration, ok bool) {
 
 // attempt reauthenticates to both endpoints with the stored short-term
 // certificates (§VI.B) and advances the plan as far as it can: building it
-// on the first attempt (single file, or a recursive directory walk) and
-// then transferring the remaining files third-party, resuming the first
-// incomplete file from its restart markers.
+// on the first attempt (single file, or a recursive directory walk that
+// captures sizes, so no per-file SIZE commands are ever issued), then
+// fanning the pending files out across the scheduler's worker session
+// pairs, each file resuming from its saved restart markers.
 func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) error {
 	srcEP, err := s.endpoint(task.Src)
 	if err != nil {
@@ -491,64 +494,29 @@ func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) 
 	}
 	actSpan.End()
 
-	// Control phase: dial both endpoints, authenticate, delegate.
+	// Control phase: dial the primary session pair — authenticate,
+	// delegate, join the task trace, set marker cadence, and (cross-CA,
+	// §V) install the source credential on the destination via DCSC once
+	// for the whole session instead of once per file.
 	ctlSpan := taskSpan.Child("control")
-	dialOpts := gridftp.DialOptions{Obs: s.cfg.Obs}
-	srcClient, err := gridftp.DialWithOptions(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust, dialOpts)
+	crossCA := task.crossCA(srcEP, dstEP)
+	primary, err := s.dialPair(srcEP, dstEP, srcProxy, dstProxy, taskSpan.Context(), crossCA)
 	if err != nil {
 		ctlSpan.SetError(err)
 		ctlSpan.End()
 		return err
 	}
-	defer srcClient.Close()
-	dstClient, err := gridftp.DialWithOptions(s.host, dstEP.GridFTPAddr, dstProxy, dstEP.Trust, dialOpts)
-	if err != nil {
-		ctlSpan.SetError(err)
-		ctlSpan.End()
-		return err
-	}
-	defer dstClient.Close()
-	if err := srcClient.Delegate(2 * time.Hour); err != nil {
-		ctlSpan.SetError(err)
-		ctlSpan.End()
-		return err
-	}
-	if err := dstClient.Delegate(2 * time.Hour); err != nil {
-		ctlSpan.SetError(err)
-		ctlSpan.End()
-		return err
-	}
-	// Bind both servers' transfer spans to this task's trace (SITE TRACE).
-	// Endpoints without the TRACE feature keep rooting spans locally.
-	if _, err := srcClient.PropagateTrace(taskSpan.Context()); err != nil {
-		ctlSpan.SetError(err)
-		ctlSpan.End()
-		return err
-	}
-	if _, err := dstClient.PropagateTrace(taskSpan.Context()); err != nil {
-		ctlSpan.SetError(err)
-		ctlSpan.End()
-		return err
-	}
+	defer primary.Close()
+	// One timed NOOP estimates the control-channel RTT; it sizes the
+	// fan-out and the autotuner's stream budget.
+	rtt := primary.measureRTT()
+	ctlSpan.SetAttr("rtt_ms", float64(rtt)/float64(time.Millisecond))
 	ctlSpan.End()
-	dstClient.SetMarkerInterval(25 * time.Millisecond)
 
-	// In-flight progress: the destination parses the server's 112
-	// performance markers during the transfer; each one refreshes the
-	// task's live PerfBytes/PerfMarkers view.
-	reg := s.cfg.Obs.Registry()
 	s.update(task, func(t *Task) { t.PerfBytes = 0; t.PerfMarkers = 0 })
-	dstClient.OnPerf(func(m gridftp.PerfMarker) {
-		total, _, markers := dstClient.PerfSnapshot()
-		reg.Counter("transfer.perf_markers").Inc()
-		s.update(task, func(t *Task) {
-			t.PerfBytes = total
-			t.PerfMarkers = markers
-		})
-	})
 
 	if *planp == nil {
-		plan, err := s.buildPlan(task, srcClient, dstClient)
+		plan, err := s.buildPlan(task, primary.src, primary.dst)
 		if err != nil {
 			return err
 		}
@@ -557,114 +525,17 @@ func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) 
 	}
 	plan := *planp
 
-	baseOpts := gridftp.ThirdPartyOptions{}
-	// Cross-CA endpoints need DCSC (§V): hand the source credential to
-	// the destination so both ends present/accept the same identity.
-	if task.crossCA(srcEP, dstEP) {
-		baseOpts.DCSC = srcProxy
-		baseOpts.DCSCTarget = gridftp.DCSCDest
+	pending := plan.pending()
+	if len(pending) == 0 {
+		return nil
 	}
-
-	for plan.next < len(plan.files) {
-		rel := plan.files[plan.next]
-		srcPath, dstPath := task.SrcPath, task.DstPath
-		if rel != "" {
-			srcPath = strings.TrimSuffix(task.SrcPath, "/") + "/" + rel
-			dstPath = strings.TrimSuffix(task.DstPath, "/") + "/" + rel
-		}
-		size, err := srcClient.Size(srcPath)
-		if err != nil {
-			return err
-		}
-		par := s.autotune(size)
-		s.update(task, func(t *Task) { t.FileSize = size; t.Parallelism = par })
-		if err := srcClient.SetParallelism(par); err != nil {
-			return err
-		}
-		if err := dstClient.SetParallelism(par); err != nil {
-			return err
-		}
-
-		opts := baseOpts
-		opts.Restart = plan.markers
-		latest := plan.markers
-		opts.OnMarker = func(rs []gridftp.Range) { latest = rs }
-		already := gridftp.FromRanges(plan.markers).Covered()
-
-		// Data phase: one span per file, third-party MODE E transfer.
-		dataSpan := taskSpan.Child("data")
-		dataSpan.SetAttr("path", srcPath)
-		dataSpan.SetAttr("size", size)
-		dataSpan.SetAttr("parallelism", par)
-		_, terr := gridftp.ThirdParty(srcClient, srcPath, dstClient, dstPath, opts)
-		if terr != nil {
-			dataSpan.SetError(terr)
-			dataSpan.End()
-			movedNow := gridftp.FromRanges(latest).Covered() - already
-			if movedNow < 0 {
-				movedNow = 0
-			}
-			plan.markers = latest
-			s.update(task, func(t *Task) {
-				t.BytesTransferred += movedNow
-				t.Markers = latest
-			})
-			reg.Counter("transfer.bytes_total").Add(movedNow)
-			return terr
-		}
-		dataSpan.End()
-		plan.next++
-		plan.markers = nil
-		s.update(task, func(t *Task) {
-			t.BytesTransferred += size - already
-			t.CompletedFiles = plan.next
-			t.Markers = nil
-		})
-		reg.Counter("transfer.bytes_total").Add(size - already)
-		reg.Counter("transfer.files_total").Inc()
-	}
-	return nil
-}
-
-// buildPlan resolves the task source into a file list, creating the
-// destination directory tree for recursive transfers.
-func (s *Service) buildPlan(task *Task, src, dst *gridftp.Client) (*transferPlan, error) {
-	entry, err := src.StatEntry(task.SrcPath)
-	if err != nil {
-		return nil, err
-	}
-	if !entry.IsDir {
-		return &transferPlan{files: []string{""}}, nil
-	}
-	files, err := src.Walk(task.SrcPath)
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(files)
-	// Create the destination tree (root plus every parent directory).
-	dirs := map[string]bool{strings.TrimSuffix(task.DstPath, "/"): true}
-	for _, rel := range files {
-		d := strings.TrimSuffix(task.DstPath, "/")
-		parts := strings.Split(rel, "/")
-		for _, p := range parts[:len(parts)-1] {
-			d += "/" + p
-			dirs[d] = true
-		}
-	}
-	sorted := make([]string, 0, len(dirs))
-	for d := range dirs {
-		sorted = append(sorted, d)
-	}
-	sort.Strings(sorted) // parents before children
-	for _, d := range sorted {
-		if err := dst.Mkdir(d); err != nil {
-			// Tolerate pre-existing directories.
-			if _, serr := dst.StatEntry(d); serr != nil {
-				return nil, err
-			}
-		}
-	}
-	return &transferPlan{files: files}, nil
+	workers := s.workerCount(len(pending), rtt)
+	tuner := newAutotuner(s.cfg, rtt, workers)
+	s.update(task, func(t *Task) { t.Workers = workers })
+	taskSpan.SetAttr("workers", workers)
+	s.cfg.Obs.Registry().Gauge("transfer.task_workers").Max(int64(workers))
+	return s.schedule(task, plan, primary, srcEP, dstEP, srcProxy, dstProxy,
+		taskSpan, pending, workers, tuner)
 }
 
 // crossCA reports whether the two endpoints live in different trust

@@ -1,0 +1,52 @@
+#!/bin/sh
+# bench.sh — run the root benchmark suite once and record the numbers as
+# the repo's benchmark trajectory file.
+#
+# Usage: ./scripts/bench.sh [output.json]    (default: BENCH_4.json)
+#
+# Runs `go test -bench . -benchtime=1x -benchmem` at the repo root and
+# writes a JSON object mapping each benchmark (including sub-benchmarks)
+# to its metrics:
+#
+#   {
+#     "BenchmarkE2ParallelStreams/gridftp-p4-8": {
+#       "ns_per_op": 123456789,
+#       "mb_per_s": 1.57,
+#       "bytes_per_op": 4096,
+#       "allocs_per_op": 42
+#     },
+#     ...
+#   }
+#
+# Benchmark-specific metrics (ms/file, bytes-moved/file-size, ...) appear
+# under keys with non-alphanumerics mapped to "_". The format is
+# documented in README.md ("Benchmark trajectory").
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_4.json}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT INT TERM
+
+go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$tmp"
+
+awk '
+/^Benchmark/ {
+	name = $1
+	line = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		unit = $(i + 1)
+		if (unit == "ns/op")          key = "ns_per_op"
+		else if (unit == "MB/s")      key = "mb_per_s"
+		else if (unit == "B/op")      key = "bytes_per_op"
+		else if (unit == "allocs/op") key = "allocs_per_op"
+		else { key = unit; gsub(/[^A-Za-z0-9]/, "_", key) }
+		if (line != "") line = line ", "
+		line = line "\"" key "\": " $i
+	}
+	if (count++ > 0) printf ",\n"
+	printf "  \"%s\": {%s}", name, line
+}
+END { printf "\n" }
+' "$tmp" | { echo "{"; cat; echo "}"; } > "$out"
+
+echo "wrote $out"
