@@ -1,0 +1,252 @@
+package main
+
+// The -dashboard renderer: a one-shot terminal view of a live admin
+// plane's time-series recorder — a sparkline per series, the active
+// alerts, and the busiest transfer tasks by current throughput. Point it
+// at any daemon started with -admin:
+//
+//	benchreport -dashboard http://127.0.0.1:9970
+//
+// or at a saved /debug/timeseries JSON document.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// sparkRunes are the eight-level bar glyphs, lowest to highest.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkWidth is how many cells a sparkline gets; longer histories are
+// tail-truncated (the dashboard is about "now", the endpoint has the
+// full history).
+const sparkWidth = 40
+
+type tsPoint struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+type tsSeries struct {
+	Name   string    `json:"name"`
+	Points []tsPoint `json:"points"`
+}
+
+type tsDocument struct {
+	Now    time.Time  `json:"now"`
+	Series []tsSeries `json:"series"`
+}
+
+type alertDocument struct {
+	Active int `json:"active"`
+	Alerts []struct {
+		Rule struct {
+			Name     string  `json:"name"`
+			Series   string  `json:"series"`
+			Value    float64 `json:"value"`
+			Severity string  `json:"severity"`
+		} `json:"rule"`
+		State string    `json:"state"`
+		Value float64   `json:"value"`
+		Since time.Time `json:"since"`
+	} `json:"alerts"`
+}
+
+// renderDashboard loads the recorder state from src — an admin-plane base
+// URL (or a full /debug/timeseries URL) or a JSON file — and prints the
+// dashboard. Alerts are fetched from the same base when src is a URL.
+func renderDashboard(src string) error {
+	var doc tsDocument
+	var alerts *alertDocument
+
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		base := strings.TrimSuffix(src, "/")
+		tsURL := base
+		if !strings.Contains(base, "/debug/timeseries") {
+			tsURL = base + "/debug/timeseries"
+		}
+		if err := fetchJSON(tsURL, &doc); err != nil {
+			return err
+		}
+		if i := strings.Index(base, "/debug/timeseries"); i >= 0 {
+			base = base[:i]
+		}
+		var a alertDocument
+		if err := fetchJSON(base+"/alerts", &a); err == nil {
+			alerts = &a
+		}
+		// An unreachable /alerts (older daemon, 503) just hides the table.
+	} else {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("%s: %w", src, err)
+		}
+	}
+
+	fmt.Printf("telemetry dashboard — %s", src)
+	if !doc.Now.IsZero() {
+		fmt.Printf(" @ %s", doc.Now.Local().Format("15:04:05"))
+	}
+	fmt.Printf("\n%s\n\n", strings.Repeat("=", 72))
+
+	if alerts != nil {
+		renderAlertTable(*alerts)
+	}
+	renderTopTasks(doc.Series)
+	renderSparklines(doc.Series)
+	return nil
+}
+
+func fetchJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(raw, v)
+}
+
+func renderAlertTable(a alertDocument) {
+	fmt.Printf("alerts (%d active)\n", a.Active)
+	if len(a.Alerts) == 0 {
+		fmt.Println("  (no rules installed)")
+		fmt.Println()
+		return
+	}
+	fmt.Printf("  %-8s %-34s %-10s %12s %12s\n", "state", "rule", "severity", "value", "threshold")
+	for _, al := range a.Alerts {
+		marker := " "
+		if al.State == "firing" {
+			marker = "!"
+		}
+		fmt.Printf("%s %-8s %-34s %-10s %12.4g %12.4g\n",
+			marker, al.State, al.Rule.Name, al.Rule.Severity, al.Value, al.Rule.Value)
+	}
+	fmt.Println()
+}
+
+// renderTopTasks lists tasks by their latest throughput sample, busiest
+// first — the "what is moving right now" view.
+func renderTopTasks(series []tsSeries) {
+	type taskRate struct {
+		task string
+		rate float64
+	}
+	var tasks []taskRate
+	for _, s := range series {
+		name, ok := strings.CutPrefix(s.Name, "transfer.task.")
+		if !ok || !strings.HasSuffix(name, ".throughput") || strings.Contains(name, ".worker.") {
+			continue
+		}
+		if len(s.Points) == 0 {
+			continue
+		}
+		tasks = append(tasks, taskRate{
+			task: strings.TrimSuffix(name, ".throughput"),
+			rate: s.Points[len(s.Points)-1].V,
+		})
+	}
+	if len(tasks) == 0 {
+		return
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].rate > tasks[j].rate })
+	const topN = 10
+	fmt.Println("top tasks by current throughput")
+	for i, tr := range tasks {
+		if i == topN {
+			fmt.Printf("  ... and %d more\n", len(tasks)-topN)
+			break
+		}
+		fmt.Printf("  %2d. %-28s %12s/s\n", i+1, tr.task, fmtBytes(tr.rate))
+	}
+	fmt.Println()
+}
+
+func renderSparklines(series []tsSeries) {
+	if len(series) == 0 {
+		fmt.Println("(no series recorded)")
+		return
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if nameW > 52 {
+		nameW = 52
+	}
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		pts := s.Points
+		if len(pts) > sparkWidth {
+			pts = pts[len(pts)-sparkWidth:]
+		}
+		name := s.Name
+		if len(name) > nameW {
+			name = "…" + name[len(name)-nameW+1:]
+		}
+		last := pts[len(pts)-1].V
+		fmt.Printf("  %-*s %-*s %12s\n", nameW, name, sparkWidth, sparkline(pts), fmtValue(last))
+	}
+}
+
+// sparkline maps the points' values onto the eight bar glyphs, scaled to
+// the window's own min/max (a flat series renders as a low bar).
+func sparkline(pts []tsPoint) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.V)
+		hi = math.Max(hi, p.V)
+	}
+	var b strings.Builder
+	for _, p := range pts {
+		idx := 0
+		if hi > lo {
+			idx = int((p.V - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+func fmtValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1e6 || math.Abs(v) < 1e-3:
+		return fmt.Sprintf("%.3g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2f GB", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2f MB", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1f KB", v/1e3)
+	}
+	return fmt.Sprintf("%.0f B", v)
+}

@@ -15,6 +15,9 @@
 //	                                   # URLs) into per-trace Gantt timelines
 //	benchreport -trace-timeline a.json,b.json -trace 0123..ef
 //	                                   # render one specific trace id
+//	benchreport -dashboard http://127.0.0.1:9970
+//	                                   # live telemetry dashboard: sparklines
+//	                                   # per series, active alerts, top tasks
 package main
 
 import (
@@ -39,7 +42,16 @@ func main() {
 	snapshot := flag.String("metrics-snapshot", "", "render a metrics snapshot and exit: a file (obs.WriteMetrics format) or an http(s):// URL of a live admin /metrics endpoint")
 	timeline := flag.String("trace-timeline", "", "comma-separated span-export sources (JSON files or http(s):// /debug/spans URLs); stitch them and render per-trace timelines")
 	traceID := flag.String("trace", "", "with -trace-timeline: render only this trace id")
+	dashboard := flag.String("dashboard", "", "render a terminal telemetry dashboard from an admin-plane base URL (sparklines, alerts, top tasks) or a saved /debug/timeseries JSON file")
 	flag.Parse()
+
+	if *dashboard != "" {
+		if err := renderDashboard(*dashboard); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *timeline != "" {
 		if err := renderTimelines(strings.Split(*timeline, ","), *traceID); err != nil {

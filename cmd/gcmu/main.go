@@ -67,8 +67,10 @@ func startAdmin(addr string, o *obs.Obs) (hold func(), cleanup func(), err error
 		return func() {}, func() {}, nil
 	}
 	adm := admin.New(o)
+	stopTelemetry := adm.EnableTelemetry(o, nil)
 	bound, err := adm.ListenAndServe(addr)
 	if err != nil {
+		stopTelemetry()
 		return nil, nil, err
 	}
 	fmt.Printf("admin plane: http://%s/\n", bound)
@@ -76,7 +78,7 @@ func startAdmin(addr string, o *obs.Obs) (hold func(), cleanup func(), err error
 		fmt.Printf("\nholding for scrapes (curl http://%s/metrics); Ctrl-C to exit\n", bound)
 		admin.AwaitInterrupt()
 	}
-	return hold, func() { adm.Close() }, nil
+	return hold, func() { adm.Close(); stopTelemetry() }, nil
 }
 
 func printSteps(title string, list []gcmu.Step) {

@@ -25,12 +25,15 @@ import (
 	"strings"
 	"time"
 
+	"gridftp.dev/instant/internal/admin"
 	"gridftp.dev/instant/internal/authz"
 	"gridftp.dev/instant/internal/baseline"
 	"gridftp.dev/instant/internal/dsi"
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -46,6 +49,8 @@ func main() {
 	thirdparty := flag.Bool("thirdparty", false, "server-to-server transfer between two sites")
 	dcsc := flag.Bool("dcsc", false, "use DCSC for the cross-CA third-party data channel")
 	lite := flag.Bool("lite", false, "use GridFTP-Lite (sshftp://): SSH-tunneled control channel, no data security")
+	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold after the copy until interrupted")
+	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
 	flag.Parse()
 
 	// URL arguments override the -thirdparty flag and direction.
@@ -75,7 +80,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*size, *parallel, *rtt, *bw, *window, *loss, *mode, *prot, *thirdparty, *dcsc, *lite); err != nil {
+	o := obs.FromEnv()
+	err := run(*size, *parallel, *rtt, *bw, *window, *loss, *mode, *prot, *thirdparty, *dcsc, *lite, *adminAddr, o)
+	if *collectorURL != "" {
+		// Best-effort: a dead collector must not fail the copy.
+		if perr := collector.Push(*collectorURL, "globus-url-copy", o.Tracer().Spans()); perr != nil {
+			fmt.Fprintf(os.Stderr, "span export: %v\n", perr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		os.Exit(1)
 	}
@@ -98,7 +111,7 @@ func parseSize(s string) (int, error) {
 	return n * mult, nil
 }
 
-func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr string, loss float64, modeStr, protStr string, thirdparty, dcsc, lite bool) error {
+func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr string, loss float64, modeStr, protStr string, thirdparty, dcsc, lite bool, adminAddr string, o *obs.Obs) error {
 	size, err := parseSize(sizeStr)
 	if err != nil {
 		return err
@@ -117,11 +130,36 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 	nw := netsim.NewNetwork()
 	nw.SetDefaultLink(link)
 
-	if lite {
-		return runLite(nw, size, parallel)
+	// With -admin, the workbench exposes the same telemetry plane as the
+	// daemons — metrics, PERF-marker timelines (/debug/timeseries), SLO
+	// alerts, the SSE live feed — and holds after the copy so an operator
+	// or the benchreport dashboard can inspect the run.
+	hold := func() {}
+	if adminAddr != "" {
+		adm := admin.New(o)
+		stopTelemetry := adm.EnableTelemetry(o, nil)
+		defer stopTelemetry()
+		addr, aerr := adm.ListenAndServe(adminAddr)
+		if aerr != nil {
+			return aerr
+		}
+		defer adm.Close()
+		fmt.Printf("admin plane: http://%s/\n", addr)
+		hold = func() {
+			fmt.Printf("\nholding for scrapes (benchreport -dashboard http://%s); Ctrl-C to exit\n", addr)
+			admin.AwaitInterrupt()
+		}
 	}
 
-	siteA, err := buildSite(nw, "siteA")
+	if lite {
+		if err := runLite(nw, size, parallel, o); err != nil {
+			return err
+		}
+		hold()
+		return nil
+	}
+
+	siteA, err := buildSite(nw, "siteA", o)
 	if err != nil {
 		return err
 	}
@@ -138,7 +176,11 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 	fmt.Printf("file: %s, streams: %d, mode: %s, prot: %s\n\n", sizeStr, parallel, modeStr, protStr)
 
 	if thirdparty {
-		return runThirdParty(nw, siteA, size, parallel, dcsc)
+		if err := runThirdParty(nw, siteA, size, parallel, dcsc, o); err != nil {
+			return err
+		}
+		hold()
+		return nil
 	}
 
 	client, err := siteA.connect(nw.Host("laptop"))
@@ -173,11 +215,12 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 		return err
 	}
 	report("gsiftp://siteA/data.bin -> file:/data.bin", size, time.Since(start))
+	hold()
 	return nil
 }
 
-func runThirdParty(nw *netsim.Network, siteA *simpleSite, size, parallel int, useDCSC bool) error {
-	siteB, err := buildSite(nw, "siteB")
+func runThirdParty(nw *netsim.Network, siteA *simpleSite, size, parallel int, useDCSC bool, o *obs.Obs) error {
+	siteB, err := buildSite(nw, "siteB", o)
 	if err != nil {
 		return err
 	}
@@ -237,9 +280,10 @@ type simpleSite struct {
 	storage *dsi.MemStorage
 	addr    string
 	nw      *netsim.Network
+	o       *obs.Obs
 }
 
-func buildSite(nw *netsim.Network, name string) (*simpleSite, error) {
+func buildSite(nw *netsim.Network, name string, o *obs.Obs) (*simpleSite, error) {
 	ca, err := gsi.NewCA(gsi.DN("/O=Grid/OU="+name+"/CN=CA"), 24*time.Hour)
 	if err != nil {
 		return nil, err
@@ -264,6 +308,7 @@ func buildSite(nw *netsim.Network, name string) (*simpleSite, error) {
 	gm.AddEntry(userCred.DN(), "alice")
 	srv, err := gridftp.NewServer(nw.Host(name), gridftp.ServerConfig{
 		HostCred: hostCred, Trust: trust, Authz: gm, Storage: storage, EndpointName: name,
+		Obs: o,
 	})
 	if err != nil {
 		return nil, err
@@ -272,7 +317,7 @@ func buildSite(nw *netsim.Network, name string) (*simpleSite, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &simpleSite{name: name, trust: trust, user: userCred, storage: storage, addr: addr.String(), nw: nw}, nil
+	return &simpleSite{name: name, trust: trust, user: userCred, storage: storage, addr: addr.String(), nw: nw, o: o}, nil
 }
 
 func (s *simpleSite) putFile(path string, content []byte) error {
@@ -289,7 +334,7 @@ func (s *simpleSite) connect(from *netsim.Host) (*gridftp.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := gridftp.Dial(from, s.addr, proxy, s.trust)
+	c, err := gridftp.DialWithOptions(from, s.addr, proxy, s.trust, gridftp.DialOptions{Obs: s.o})
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +347,7 @@ func (s *simpleSite) connect(from *netsim.Host) (*gridftp.Client, error) {
 
 // runLite drives GridFTP-Lite (§III.B): SSH-style password logon, control
 // channel tunneled, cleartext data channel, no delegation.
-func runLite(nw *netsim.Network, size, parallel int) error {
+func runLite(nw *netsim.Network, size, parallel int, o *obs.Obs) error {
 	ca, err := gsi.NewCA("/O=x/CN=CA", 24*time.Hour)
 	if err != nil {
 		return err
@@ -323,6 +368,7 @@ func runLite(nw *netsim.Network, size, parallel int) error {
 	trust.AddCA(ca.Certificate())
 	gfs, err := gridftp.NewServer(nw.Host("siteA"), gridftp.ServerConfig{
 		HostCred: hostCred, Trust: trust, Authz: authz.NewGridmap(), Storage: storage,
+		Obs: o,
 	})
 	if err != nil {
 		return err

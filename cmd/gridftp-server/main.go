@@ -83,6 +83,10 @@ func run(name, user, password string, selftest, withOAuth bool, adminAddr string
 				return fmt.Errorf("endpoint not yet installed")
 			}
 		})
+		// Full telemetry: time-series flight recorder, SLO alert engine,
+		// and the /debug/stream live feed.
+		stopTelemetry := adm.EnableTelemetry(o, nil)
+		defer stopTelemetry()
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
 			return err

@@ -51,6 +51,8 @@ func run(user, password string, lifetime time.Duration, wrong bool, adminAddr st
 	var adm *admin.Server
 	if adminAddr != "" {
 		adm = admin.New(o)
+		stopTelemetry := adm.EnableTelemetry(o, nil)
+		defer stopTelemetry()
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
 			return err

@@ -122,6 +122,11 @@ func run(opts runOptions, o *obs.Obs) error {
 	var adm *admin.Server
 	if adminAddr != "" {
 		adm = admin.New(o)
+		// Recorder + alert engine + live stream: the queue-wait burn-rate
+		// rule in tsdb.DefaultRules watches this very service's admission
+		// semaphore.
+		stopTelemetry := adm.EnableTelemetry(o, nil)
+		defer stopTelemetry()
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
 			return err

@@ -37,6 +37,7 @@ import (
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/tsdb"
 )
 
 // Probe reports one aspect of process health; nil means healthy.
@@ -50,6 +51,15 @@ type Server struct {
 	mu     sync.Mutex
 	health map[string]Probe
 	ready  map[string]Probe
+
+	// Telemetry plane (telemetry.go): the time-series recorder and alert
+	// engine behind /debug/timeseries, /alerts, and /debug/stream, plus
+	// the SSE fan-out hub. heartbeat overrides the stream keepalive
+	// cadence (0 = default; tests shrink it).
+	rec       *tsdb.Recorder
+	engine    *tsdb.Engine
+	hub       streamHub
+	heartbeat time.Duration
 
 	srv *http.Server
 	ln  net.Listener
@@ -70,6 +80,9 @@ func New(o *obs.Obs) *Server {
 	s.mux.HandleFunc("/readyz", s.probeHandler(&s.ready))
 	s.mux.HandleFunc("/debug/spans", s.handleSpans)
 	s.mux.HandleFunc("/debug/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("/debug/stream", s.handleStream)
+	s.mux.HandleFunc("/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -155,6 +168,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /readyz         readiness probes")
 	fmt.Fprintln(w, "  /debug/spans    span forest (JSON)")
 	fmt.Fprintln(w, "  /debug/events   event ring (JSON; ?n=50 ?type=transfer.)")
+	fmt.Fprintln(w, "  /alerts         SLO alert rules with live state (JSON)")
+	fmt.Fprintln(w, "  /debug/timeseries  recorded series (JSON; ?series= ?since=30s ?step=5s)")
+	fmt.Fprintln(w, "  /debug/stream   live SSE feed (metric deltas, events, alerts)")
 	fmt.Fprintln(w, "  /debug/pprof/   Go profiling")
 }
 

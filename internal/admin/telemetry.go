@@ -1,0 +1,330 @@
+package admin
+
+// Telemetry endpoints over the time-series flight recorder and SLO alert
+// engine (internal/obs/tsdb):
+//
+//	/debug/timeseries  recorded series as JSON (?series= prefix filter,
+//	                   ?since= RFC3339 or relative duration, ?step= rebucket)
+//	/alerts            every alert rule with live state, firing first
+//	/debug/stream      SSE live feed: metric deltas, new events, alert
+//	                   transitions, with heartbeats and slow-client eviction
+//
+// The endpoints answer 503 until SetTelemetry (usually via
+// EnableTelemetry) installs a recorder, so the admin plane's shape is
+// identical across daemons whether or not they record history.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/tsdb"
+)
+
+// streamFrame is one SSE message: an event name plus a JSON payload.
+type streamFrame struct {
+	event string
+	data  []byte
+}
+
+// streamBuffer is each /debug/stream client's channel depth. A client
+// that falls this far behind the broadcast stream is evicted — the feed
+// is a live tail, not a reliable queue, and a stalled reader must not
+// block the eventlog tap that feeds it.
+const streamBuffer = 64
+
+// streamHub fans frames out to the connected /debug/stream clients.
+type streamHub struct {
+	mu      sync.Mutex
+	clients map[int]chan streamFrame
+	next    int
+}
+
+func (h *streamHub) subscribe() (int, chan streamFrame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.clients == nil {
+		h.clients = make(map[int]chan streamFrame)
+	}
+	id := h.next
+	h.next++
+	ch := make(chan streamFrame, streamBuffer)
+	h.clients[id] = ch
+	return id, ch
+}
+
+func (h *streamHub) unsubscribe(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.clients, id)
+}
+
+func (h *streamHub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients)
+}
+
+// broadcast delivers the frame to every client without ever blocking:
+// the callers are synchronous taps inside eventlog.Append and
+// Engine.Eval. A client whose buffer is full is evicted (channel closed)
+// so one stalled curl cannot make the whole process's event path lag.
+func (h *streamHub) broadcast(f streamFrame) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for id, ch := range h.clients {
+		select {
+		case ch <- f:
+		default:
+			close(ch)
+			delete(h.clients, id)
+		}
+	}
+}
+
+func jsonFrame(event string, v any) streamFrame {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"marshal_error":%q}`, err.Error()))
+	}
+	return streamFrame{event: event, data: data}
+}
+
+// SetTelemetry installs the recorder and alert engine behind
+// /debug/timeseries, /alerts, and /debug/stream. Either may be nil; the
+// corresponding endpoints then answer 503.
+func (s *Server) SetTelemetry(rec *tsdb.Recorder, eng *tsdb.Engine) {
+	s.mu.Lock()
+	s.rec, s.engine = rec, eng
+	s.mu.Unlock()
+}
+
+func (s *Server) telemetry() (*tsdb.Recorder, *tsdb.Engine) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec, s.engine
+}
+
+// StreamClientCount reports the number of connected /debug/stream
+// clients (eviction and shutdown visibility for tests and operators).
+func (s *Server) StreamClientCount() int { return s.hub.count() }
+
+// EnableTelemetry wires a full recording pipeline into the server: a
+// recorder with default geometry (1s raw / 15s aggregate), an alert
+// engine over rules (nil = tsdb.DefaultRules()), the background registry
+// sampler, and the live-stream taps. The recorder is installed as
+// o.Series, so components with explicit timelines (PERF markers) feed it
+// through obs.TimeSeries(). The returned stop halts the sampler, the
+// delta publisher, and the taps; it is idempotent.
+func (s *Server) EnableTelemetry(o *obs.Obs, rules []tsdb.Rule) (stop func()) {
+	if rules == nil {
+		rules = tsdb.DefaultRules()
+	}
+	rec := tsdb.New(tsdb.Options{})
+	eng := tsdb.NewEngine(rec, o, rules)
+	if o != nil {
+		o.Series = rec
+	}
+	s.SetTelemetry(rec, eng)
+
+	// Live-stream taps: every appended event and every alert transition
+	// becomes an SSE frame the moment it happens.
+	untapEvents := o.EventLog().Tap(func(ev eventlog.Event) {
+		s.hub.broadcast(jsonFrame("event", ev))
+	})
+	untapAlerts := eng.Tap(func(tr tsdb.Transition) {
+		s.hub.broadcast(jsonFrame("alert", tr))
+	})
+
+	// Background sampler: registry → recorder → alert evaluation.
+	stopSampler := rec.Start(o.Registry(), eng)
+
+	// Metric-delta publisher: on each sampling interval, send connected
+	// stream clients only the counters/gauges that changed since the last
+	// tick — a live diff, cheap enough to run at the raw cadence.
+	deltaStop := make(chan struct{})
+	deltaDone := make(chan struct{})
+	go func() {
+		defer close(deltaDone)
+		tick := time.NewTicker(rec.Options().RawStep)
+		defer tick.Stop()
+		prev := make(map[string]int64)
+		for {
+			select {
+			case <-tick.C:
+				if s.hub.count() == 0 {
+					// Still track values so a new client's first delta
+					// frame is a diff, not a full dump.
+					for _, m := range o.Registry().Snapshot() {
+						prev[m.Name] = m.Value
+					}
+					continue
+				}
+				changed := make(map[string]int64)
+				for _, m := range o.Registry().Snapshot() {
+					if v, ok := prev[m.Name]; !ok || v != m.Value {
+						changed[m.Name] = m.Value
+					}
+					prev[m.Name] = m.Value
+				}
+				if len(changed) > 0 {
+					s.hub.broadcast(jsonFrame("metrics", map[string]any{
+						"t": time.Now().UTC(), "changed": changed,
+					}))
+				}
+			case <-deltaStop:
+				return
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(deltaStop)
+			<-deltaDone
+			stopSampler()
+			untapEvents()
+			untapAlerts()
+		})
+	}
+}
+
+// parseSince interprets the ?since= query value: empty means all
+// retained history, a Go duration means "that long ago", otherwise
+// RFC3339.
+func parseSince(v string, now time.Time) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		if d < 0 {
+			d = -d
+		}
+		return now.Add(-d), nil
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("since: want duration (30s) or RFC3339: %v", err)
+	}
+	return t, nil
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	rec, _ := s.telemetry()
+	if rec == nil {
+		http.Error(w, "time-series recorder not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	q := r.URL.Query()
+	var prefixes []string
+	for _, p := range strings.Split(q.Get("series"), ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			prefixes = append(prefixes, p)
+		}
+	}
+	now := time.Now()
+	since, err := parseSince(q.Get("since"), now)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var step time.Duration
+	if v := q.Get("step"); v != "" {
+		step, err = time.ParseDuration(v)
+		if err != nil || step < 0 {
+			http.Error(w, "step: want a positive Go duration (15s)", http.StatusBadRequest)
+			return
+		}
+	}
+	series := rec.DumpSeries(prefixes, since, step)
+	if series == nil {
+		series = []tsdb.SeriesDump{}
+	}
+	writeJSON(w, map[string]any{"now": now.UTC(), "series": series})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	_, eng := s.telemetry()
+	if eng == nil {
+		http.Error(w, "alert engine not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	alerts := eng.Alerts()
+	// Firing first, then pending, then inactive; stable by name within a
+	// state so the operator view doesn't shuffle between refreshes.
+	rank := map[tsdb.State]int{tsdb.StateFiring: 0, tsdb.StatePending: 1, tsdb.StateInactive: 2}
+	sort.SliceStable(alerts, func(i, j int) bool {
+		if rank[alerts[i].State] != rank[alerts[j].State] {
+			return rank[alerts[i].State] < rank[alerts[j].State]
+		}
+		return alerts[i].Rule.Name < alerts[j].Rule.Name
+	})
+	if alerts == nil {
+		alerts = []tsdb.Alert{}
+	}
+	writeJSON(w, map[string]any{"alerts": alerts, "active": len(eng.Active())})
+}
+
+// streamHeartbeat is the default keepalive cadence for /debug/stream;
+// tests shrink Server.heartbeat to observe it without waiting.
+const streamHeartbeat = 15 * time.Second
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	rec, _ := s.telemetry()
+	if rec == nil {
+		http.Error(w, "telemetry stream not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	id, ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	if _, err := fmt.Fprintf(w, ": connected client=%d\n\n", id); err != nil {
+		return
+	}
+	fl.Flush()
+
+	hb := s.heartbeat
+	if hb <= 0 {
+		hb = streamHeartbeat
+	}
+	tick := time.NewTicker(hb)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			// SSE comment frame: keeps proxies and clients from timing
+			// out an idle feed without emitting a data event.
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case f, ok := <-ch:
+			if !ok {
+				// Evicted by the hub for falling behind; the closed
+				// channel is the signal to hang up.
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package admin
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/tsdb"
+)
+
+var tt0 = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+func TestTelemetryEndpointsDisabled(t *testing.T) {
+	ts := httptest.NewServer(New(obs.Nop()).Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/timeseries", "/alerts", "/debug/stream"} {
+		if code, _, _ := get(t, ts, path); code != http.StatusServiceUnavailable {
+			t.Errorf("%s without telemetry: status %d, want 503", path, code)
+		}
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	rec := tsdb.New(tsdb.Options{})
+	s.SetTelemetry(rec, tsdb.NewEngine(rec, o, nil))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	now := time.Now()
+	for i := 0; i < 10; i++ {
+		rec.Observe("transfer.task.t1.throughput", now.Add(time.Duration(i-10)*time.Second), float64(i))
+	}
+	rec.Observe("other.series", now, 1)
+
+	code, body, hdr := get(t, ts, "/debug/timeseries?series=transfer.task.")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var out struct {
+		Series []struct {
+			Name   string `json:"name"`
+			Points []struct {
+				T time.Time `json:"t"`
+				V float64   `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if len(out.Series) != 1 || out.Series[0].Name != "transfer.task.t1.throughput" {
+		t.Fatalf("series = %+v, want only the task series", out.Series)
+	}
+	if len(out.Series[0].Points) != 10 {
+		t.Errorf("points = %d, want 10", len(out.Series[0].Points))
+	}
+
+	// Relative since + step: only the last ~5s, rebucketed at 2s.
+	code, body, _ = get(t, ts, "/debug/timeseries?series=transfer.task.&since=5s&step=2s")
+	if code != http.StatusOK {
+		t.Fatalf("since/step status %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Points) >= 10 || len(out.Series[0].Points) == 0 {
+		t.Errorf("since/step gave %+v, want a shorter rebucketed tail", out.Series)
+	}
+
+	// Malformed parameters are 400s, not 500s.
+	if code, _, _ := get(t, ts, "/debug/timeseries?since=yesterday"); code != http.StatusBadRequest {
+		t.Errorf("bad since: status %d, want 400", code)
+	}
+	if code, _, _ := get(t, ts, "/debug/timeseries?step=-3s"); code != http.StatusBadRequest {
+		t.Errorf("bad step: status %d, want 400", code)
+	}
+}
+
+func TestAlertsEndpoint(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	rec := tsdb.New(tsdb.Options{})
+	eng := tsdb.NewEngine(rec, o, []tsdb.Rule{
+		{Name: "calm", Series: "x", Kind: tsdb.KindThreshold, Op: tsdb.OpGreater, Value: 100},
+		{Name: "hot", Series: "x", Kind: tsdb.KindThreshold, Op: tsdb.OpGreater, Value: 1},
+	})
+	s.SetTelemetry(rec, eng)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec.Observe("x", tt0, 50)
+	eng.Eval(tt0)
+
+	code, body, _ := get(t, ts, "/alerts")
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var out struct {
+		Active int `json:"active"`
+		Alerts []struct {
+			Rule  struct{ Name string }
+			State string `json:"state"`
+		} `json:"alerts"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if out.Active != 1 || len(out.Alerts) != 2 {
+		t.Fatalf("alerts = %+v, want 2 rules with 1 active", out)
+	}
+	// Firing sorts first.
+	if out.Alerts[0].Rule.Name != "hot" || out.Alerts[0].State != "firing" {
+		t.Errorf("first alert = %+v, want the firing rule", out.Alerts[0])
+	}
+}
+
+// sseClient tails /debug/stream, recording event names and raw frames.
+type sseClient struct {
+	mu     sync.Mutex
+	events []string
+	raw    []string
+	done   chan struct{}
+}
+
+func startSSE(t *testing.T, ts *httptest.Server) *sseClient {
+	t.Helper()
+	c := &sseClient{done: make(chan struct{})}
+	resp, err := ts.Client().Get(ts.URL + "/debug/stream")
+	if err != nil {
+		t.Fatalf("GET /debug/stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("stream Content-Type = %q", ct)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	go func() {
+		defer close(c.done)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			c.mu.Lock()
+			c.raw = append(c.raw, line)
+			if strings.HasPrefix(line, "event: ") {
+				c.events = append(c.events, strings.TrimPrefix(line, "event: "))
+			}
+			c.mu.Unlock()
+		}
+	}()
+	return c
+}
+
+func (c *sseClient) snapshot() (events, raw []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.events...), append([]string(nil), c.raw...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStreamMultiClientDelivery(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	stop := s.EnableTelemetry(o, []tsdb.Rule{})
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	// Cleanup, not defer: the SSE response bodies (closed by startSSE's
+	// later-registered cleanups) must close before ts.Close, or Close
+	// waits forever on the live streams.
+	t.Cleanup(ts.Close)
+
+	c1 := startSSE(t, ts)
+	c2 := startSSE(t, ts)
+	waitFor(t, "both clients subscribed", func() bool { return s.StreamClientCount() == 2 })
+
+	// An eventlog append fans out to every client.
+	o.EventLog().Append("transfer.start", "task", "t1")
+	for _, c := range []*sseClient{c1, c2} {
+		waitFor(t, "event frame", func() bool {
+			events, _ := c.snapshot()
+			for _, e := range events {
+				if e == "event" {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	_, raw := c1.snapshot()
+	found := false
+	for _, line := range raw {
+		if strings.HasPrefix(line, "data: ") && strings.Contains(line, `"transfer.start"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("event payload missing from frames: %v", raw)
+	}
+
+	// Metric deltas: bump a counter, the delta publisher broadcasts it.
+	o.Registry().Counter("transfer.tasks_total").Add(3)
+	waitFor(t, "metrics frame", func() bool {
+		events, _ := c2.snapshot()
+		for _, e := range events {
+			if e == "metrics" {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func TestStreamSlowClientEviction(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	rec := tsdb.New(tsdb.Options{})
+	s.SetTelemetry(rec, tsdb.NewEngine(rec, o, nil))
+
+	// Subscribe directly at the hub and never drain: once the buffer
+	// overflows the hub must evict (close) the client rather than block
+	// the broadcaster.
+	_, ch := s.hub.subscribe()
+	if s.StreamClientCount() != 1 {
+		t.Fatalf("clients = %d, want 1", s.StreamClientCount())
+	}
+	for i := 0; i < streamBuffer+5; i++ {
+		s.hub.broadcast(jsonFrame("event", map[string]int{"i": i}))
+	}
+	if s.StreamClientCount() != 0 {
+		t.Fatalf("slow client not evicted: %d clients", s.StreamClientCount())
+	}
+	// The channel was closed with exactly the buffered frames inside.
+	n := 0
+	for range ch {
+		n++
+	}
+	if n != streamBuffer {
+		t.Errorf("drained %d frames, want %d", n, streamBuffer)
+	}
+
+	// End-to-end: a client that disconnects is unsubscribed by its
+	// handler, so the hub's view returns to zero.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/stream")
+	if err != nil {
+		t.Fatalf("GET /debug/stream: %v", err)
+	}
+	waitFor(t, "stream subscribed", func() bool { return s.StreamClientCount() == 1 })
+	resp.Body.Close()
+	waitFor(t, "handler unsubscribed", func() bool { return s.StreamClientCount() == 0 })
+}
+
+func TestStreamHeartbeat(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	rec := tsdb.New(tsdb.Options{})
+	s.SetTelemetry(rec, tsdb.NewEngine(rec, o, nil))
+	s.heartbeat = 20 * time.Millisecond
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // before startSSE's body-close cleanup (LIFO)
+
+	c := startSSE(t, ts)
+	waitFor(t, "heartbeat comments", func() bool {
+		_, raw := c.snapshot()
+		n := 0
+		for _, line := range raw {
+			if line == ": hb" {
+				n++
+			}
+		}
+		return n >= 2
+	})
+}
+
+func TestEnableTelemetrySamplesAndAlerts(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	stop := s.EnableTelemetry(o, nil)
+	defer stop()
+
+	if o.Series == nil {
+		t.Fatal("EnableTelemetry did not install o.Series")
+	}
+	rec, eng := s.telemetry()
+	if rec == nil || eng == nil {
+		t.Fatal("telemetry not installed")
+	}
+	// The sampler picks up registry state in the background (1s cadence).
+	o.Registry().Gauge("g").Set(9)
+	waitFor(t, "background sample", func() bool {
+		p, ok := rec.Latest("g")
+		return ok && p.V == 9
+	})
+	// Components feed explicit timelines through the obs bundle.
+	o.TimeSeries().Observe("transfer.task.x.throughput", time.Now(), 1e6)
+	if _, ok := rec.Latest("transfer.task.x.throughput"); !ok {
+		t.Fatal("o.Series observation did not reach the recorder")
+	}
+	stop()
+	stop() // idempotent
+}

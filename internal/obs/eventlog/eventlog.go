@@ -36,6 +36,11 @@ const (
 	TaskStart        = "task.start"
 	TaskComplete     = "task.complete"
 	EndpointInstall  = "endpoint.install"
+	// AlertFiring/AlertResolved record SLO alert transitions from the
+	// tsdb alert engine, so firings live in the same audit stream as the
+	// lifecycle events that explain them.
+	AlertFiring   = "alert.firing"
+	AlertResolved = "alert.resolved"
 )
 
 // Event is one recorded occurrence. Seq increases monotonically per log

@@ -115,16 +115,18 @@ func TestTypeHeadersContiguous(t *testing.T) {
 }
 
 func TestQuantileEdgeCases(t *testing.T) {
-	if v := obs.QuantileFromBuckets(nil, nil, 0.5); !math.IsNaN(v) {
-		t.Errorf("empty buckets: got %v, want NaN", v)
+	// Degenerate inputs return the defined sentinel 0 — never NaN, which
+	// would leak into JSON encoders and the exposition format.
+	if v := obs.QuantileFromBuckets(nil, nil, 0.5); v != 0 {
+		t.Errorf("empty buckets: got %v, want 0", v)
 	}
 	// A histogram with no observations has all-zero cumulative counts.
-	if v := obs.QuantileFromBuckets([]float64{1, math.Inf(1)}, []int64{0, 0}, 0.5); !math.IsNaN(v) {
-		t.Errorf("zero counts: got %v, want NaN", v)
+	if v := obs.QuantileFromBuckets([]float64{1, math.Inf(1)}, []int64{0, 0}, 0.5); v != 0 {
+		t.Errorf("zero counts: got %v, want 0", v)
 	}
 	// Single (+Inf-only) bucket: no finite bound to interpolate against.
-	if v := obs.QuantileFromBuckets([]float64{math.Inf(1)}, []int64{7}, 0.5); !math.IsNaN(v) {
-		t.Errorf("+Inf-only bucket: got %v, want NaN", v)
+	if v := obs.QuantileFromBuckets([]float64{math.Inf(1)}, []int64{7}, 0.5); v != 0 {
+		t.Errorf("+Inf-only bucket: got %v, want 0", v)
 	}
 	// Single finite bucket: interpolate within [0, bound].
 	got := obs.QuantileFromBuckets([]float64{2, math.Inf(1)}, []int64{4, 4}, 0.5)

@@ -25,6 +25,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	funcs      map[string]func() int64
 }
 
 // NewRegistry returns an empty registry.
@@ -33,6 +34,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		funcs:      make(map[string]func() int64),
 	}
 }
 
@@ -182,12 +184,14 @@ func (h *Histogram) Buckets() ([]float64, []int64) {
 
 // Quantile estimates the q-quantile (0..1) of the observed distribution
 // by linear interpolation inside the bucket the rank falls in — the same
-// estimate Prometheus's histogram_quantile computes. It returns NaN for
-// an empty histogram and the highest finite bound when the rank lands in
-// the +Inf bucket.
+// estimate Prometheus's histogram_quantile computes. An empty (or nil)
+// histogram returns the defined sentinel 0 rather than NaN, so quantiles
+// can feed JSON encoders, the exposition format, and alert rules without
+// a NaN guard at every consumer; the highest finite bound is returned
+// when the rank lands in the +Inf bucket.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
-		return math.NaN()
+		return 0
 	}
 	bounds, counts := h.Buckets()
 	return QuantileFromBuckets(bounds, counts, q)
@@ -196,14 +200,15 @@ func (h *Histogram) Quantile(q float64) float64 {
 // QuantileFromBuckets interpolates the q-quantile from cumulative bucket
 // data (bounds ascending, the last typically +Inf; counts cumulative,
 // parallel to bounds). It is the shared estimator behind
-// Histogram.Quantile and the exposition/scrape layers.
+// Histogram.Quantile and the exposition/scrape layers. Malformed input
+// and a zero observation count return the sentinel 0, never NaN.
 func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
 	if len(bounds) == 0 || len(bounds) != len(counts) {
-		return math.NaN()
+		return 0
 	}
 	total := counts[len(counts)-1]
 	if total <= 0 {
-		return math.NaN()
+		return 0
 	}
 	if q < 0 {
 		q = 0
@@ -220,7 +225,7 @@ func QuantileFromBuckets(bounds []float64, counts []int64, q float64) float64 {
 		// Rank lands above every finite bound: the best defensible point
 		// estimate is the highest finite bound (Prometheus convention).
 		if i == 0 {
-			return math.NaN()
+			return 0
 		}
 		return bounds[i-1]
 	}
@@ -326,6 +331,24 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// GaugeFunc registers a gauge whose value is computed by fn at snapshot
+// time — the mechanism behind derived series like process.uptime_seconds
+// that have no natural Set() call site. fn must be safe for concurrent
+// use and is called outside the registry lock. Re-registering a name
+// replaces the function; the name must not collide with a regular
+// counter/gauge/histogram or both would be exported.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.funcs == nil {
+		r.funcs = make(map[string]func() int64)
+	}
+	r.funcs[name] = fn
+}
+
 // Metric is one exported sample in a snapshot.
 type Metric struct {
 	Name string
@@ -354,7 +377,16 @@ func (r *Registry) Snapshot() []Metric {
 	for name, h := range r.histograms {
 		hists[name] = h
 	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for name, fn := range r.funcs {
+		funcs[name] = fn
+	}
 	r.mu.Unlock()
+	// Gauge functions run outside the lock so they may themselves read
+	// metrics without deadlocking.
+	for name, fn := range funcs {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: fn()})
+	}
 	for name, h := range hists {
 		m := Metric{Name: name, Kind: "histogram", Value: h.Count(), Sum: h.Sum()}
 		if m.Value > 0 {

@@ -31,28 +31,37 @@ type Obs struct {
 	// (session open/close, auth outcomes, transfer progress); the admin
 	// plane serves it at /debug/events.
 	Events *eventlog.Log
+	// Series, when set, receives explicit timestamped observations (the
+	// time-series flight recorder, internal/obs/tsdb). Nil discards them;
+	// use TimeSeries() at call sites.
+	Series SeriesSink
 }
 
 // New returns a fully wired Obs: logger writing to w at the given level,
-// a fresh metrics registry, a fresh tracer, and a fresh event log.
+// a fresh metrics registry (carrying the process.* identity gauges), a
+// fresh tracer, and a fresh event log.
 func New(w io.Writer, level Level) *Obs {
-	return &Obs{
+	o := &Obs{
 		Log:     NewLogger(w, level),
 		Metrics: NewRegistry(),
 		Trace:   NewTracer(),
 		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
+	registerProcessMetrics(o.Metrics)
+	return o
 }
 
 // Nop returns an Obs that records metrics, spans, and events but writes
 // no log output — the default for tests that only assert on telemetry.
 func Nop() *Obs {
-	return &Obs{
+	o := &Obs{
 		Log:     NewLogger(io.Discard, LevelError),
 		Metrics: NewRegistry(),
 		Trace:   NewTracer(),
 		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
+	registerProcessMetrics(o.Metrics)
+	return o
 }
 
 // FromEnv builds an Obs honoring the OBS_LOG_LEVEL environment variable

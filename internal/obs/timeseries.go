@@ -1,0 +1,50 @@
+package obs
+
+import "time"
+
+// SeriesSink receives explicit time-series observations: named samples
+// with their own timestamps, as opposed to the registry's point-in-time
+// counters. The in-memory flight recorder (internal/obs/tsdb) implements
+// it; declaring the interface here keeps the dependency arrow pointing
+// one way (tsdb imports obs, never the reverse) while letting every
+// layer that already holds an *Obs feed live timelines — the transfer
+// scheduler's per-worker throughput, the GridFTP client's per-stripe
+// PERF-marker progress — without importing the recorder.
+type SeriesSink interface {
+	// Observe records value v for the named series at time t. Out-of-order
+	// timestamps are legal (PERF markers carry sender-side clocks);
+	// implementations must tolerate them.
+	Observe(series string, t time.Time, v float64)
+}
+
+// nopSeries is the discard sink a nil Obs (or one without a recorder)
+// hands out, keeping call sites branch-free like the other facilities.
+type nopSeries struct{}
+
+func (nopSeries) Observe(string, time.Time, float64) {}
+
+// TimeSeries returns the bundle's explicit-observation sink, or a discard
+// sink when o is nil or no recorder has been attached.
+func (o *Obs) TimeSeries() SeriesSink {
+	if o == nil || o.Series == nil {
+		return nopSeries{}
+	}
+	return o.Series
+}
+
+// processStart anchors the process.* metrics: one value per process, set
+// at init so every registry that registers the process metrics reports
+// the same start time.
+var processStart = time.Now()
+
+// registerProcessMetrics adds the process identity gauges every exported
+// registry should carry: the Unix start time (the Prometheus
+// process_start_time_seconds convention) and a live uptime computed at
+// snapshot time. Both render in the text dump and in the Prometheus
+// exposition because each goes through Registry.Snapshot.
+func registerProcessMetrics(r *Registry) {
+	r.GaugeFunc("process.start_time_seconds", func() int64 { return processStart.Unix() })
+	r.GaugeFunc("process.uptime_seconds", func() int64 {
+		return int64(time.Since(processStart).Seconds())
+	})
+}

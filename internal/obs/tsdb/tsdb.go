@@ -1,0 +1,483 @@
+// Package tsdb is the in-memory time-series flight recorder: fixed-size
+// ring buffers of (timestamp, value) points with two-tier downsampling,
+// periodically sampled from an obs.Registry (counters become rates,
+// gauges values, histograms windowed quantiles) and fed directly by
+// components with per-event timelines (the transfer scheduler's PERF
+// markers). It answers the questions a point-in-time /metrics scrape
+// cannot — "what was the transfer rate 30 seconds ago?", "is p99
+// latency degrading?" — without an external Prometheus, per the
+// self-contained production-service goal.
+//
+// Data model: each series keeps a raw tier at the sampling cadence
+// (default 1s, retained ~5 minutes) and an aggregated tier of
+// step-averaged points (default 15s, retained ~2 hours). Memory per
+// series is bounded by the two ring capacities, so a daemon recording
+// hundreds of series for weeks stays flat. Out-of-order observations
+// (PERF markers carry sender clocks) are inserted in time order into the
+// raw tier; samples older than the aggregation tier's open bucket only
+// land in the raw tier.
+//
+// The package is stdlib-only and depends on internal/obs alone; the
+// alert engine over it lives in alerts.go.
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	T time.Time `json:"t"`
+	V float64   `json:"v"`
+}
+
+// Options size the recorder's tiers. Zero fields take the defaults.
+type Options struct {
+	// RawStep is the sampling cadence of the raw tier and of the
+	// background registry sampler (default 1s).
+	RawStep time.Duration
+	// RawRetention is how much history the raw tier keeps (default 5m).
+	RawRetention time.Duration
+	// AggStep is the aggregated tier's resolution: raw points are
+	// averaged per AggStep bucket as they age out (default 15s).
+	AggStep time.Duration
+	// AggRetention is the aggregated tier's span (default 2h).
+	AggRetention time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.RawStep <= 0 {
+		o.RawStep = time.Second
+	}
+	if o.RawRetention <= 0 {
+		o.RawRetention = 5 * time.Minute
+	}
+	if o.AggStep <= 0 {
+		o.AggStep = 15 * time.Second
+	}
+	if o.AggRetention <= 0 {
+		o.AggRetention = 2 * time.Hour
+	}
+	if o.AggStep < o.RawStep {
+		o.AggStep = o.RawStep
+	}
+	return o
+}
+
+// ring is a fixed-capacity circular buffer of points ordered by time.
+type ring struct {
+	buf  []Point
+	head int // index of the oldest point
+	n    int
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring{buf: make([]Point, capacity)}
+}
+
+func (r *ring) at(i int) Point { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *ring) setAt(i int, p Point) { r.buf[(r.head+i)%len(r.buf)] = p }
+
+// push appends p at the newest end, evicting the oldest point when full.
+func (r *ring) push(p Point) {
+	if r.n < len(r.buf) {
+		r.setAt(r.n, p)
+		r.n++
+		return
+	}
+	r.buf[r.head] = p
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+// insert places p in time order. The common case (p at or after the
+// newest point) is an O(1) push; an out-of-order point shifts newer
+// points right. A point older than everything in a full ring is dropped
+// — storing it would evict a newer, more valuable point.
+func (r *ring) insert(p Point) {
+	if r.n == 0 || !p.T.Before(r.at(r.n-1).T) {
+		r.push(p)
+		return
+	}
+	// Find the first logical index whose point is after p.
+	i := sort.Search(r.n, func(i int) bool { return r.at(i).T.After(p.T) })
+	if r.n == len(r.buf) {
+		if i == 0 {
+			return // older than the whole full ring
+		}
+		// Evict the oldest to make room; the insert position shifts left.
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		i--
+	}
+	for j := r.n; j > i; j-- {
+		r.setAt(j, r.at(j-1))
+	}
+	r.setAt(i, p)
+	r.n++
+}
+
+// points returns the ring's contents oldest first.
+func (r *ring) points() []Point {
+	out := make([]Point, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.at(i)
+	}
+	return out
+}
+
+func (r *ring) oldest() (Point, bool) {
+	if r.n == 0 {
+		return Point{}, false
+	}
+	return r.at(0), true
+}
+
+// series is one named timeline: the raw ring, the aggregated ring, and
+// the open aggregation bucket raw points accumulate into before rolling
+// over.
+type series struct {
+	raw *ring
+	agg *ring
+
+	bucketStart time.Time // zero when no bucket is open
+	bucketSum   float64
+	bucketN     int
+}
+
+// Recorder is the concurrency-safe recorder. The zero value is not
+// usable; construct with New.
+type Recorder struct {
+	opts Options
+
+	mu     sync.Mutex
+	series map[string]*series
+
+	// Sampler state: previous cumulative values, so counters and
+	// histogram buckets turn into windowed rates/quantiles.
+	smu          sync.Mutex
+	lastSample   time.Time
+	lastCounters map[string]int64
+	lastBuckets  map[string][]int64
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// New returns an empty recorder with the given tier geometry.
+func New(opts Options) *Recorder {
+	o := opts.withDefaults()
+	return &Recorder{
+		opts:         o,
+		series:       make(map[string]*series),
+		lastCounters: make(map[string]int64),
+		lastBuckets:  make(map[string][]int64),
+	}
+}
+
+// Options reports the recorder's effective (defaulted) geometry.
+func (r *Recorder) Options() Options { return r.opts }
+
+func (r *Recorder) rawCap() int {
+	return int(r.opts.RawRetention / r.opts.RawStep)
+}
+
+func (r *Recorder) aggCap() int {
+	return int(r.opts.AggRetention / r.opts.AggStep)
+}
+
+func (r *Recorder) seriesFor(name string) *series {
+	s, ok := r.series[name]
+	if !ok {
+		s = &series{raw: newRing(r.rawCap()), agg: newRing(r.aggCap())}
+		r.series[name] = s
+	}
+	return s
+}
+
+// Observe records value v for the named series at time t. NaN and ±Inf
+// values are dropped (they would poison downstream averages and alert
+// comparisons), as are zero timestamps. Observe implements
+// obs.SeriesSink, so a Recorder can sit in Obs.Series.
+func (r *Recorder) Observe(name string, t time.Time, v float64) {
+	if r == nil || name == "" || t.IsZero() || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.seriesFor(name)
+	s.raw.insert(Point{T: t, V: v})
+	r.aggregate(s, t, v)
+}
+
+// aggregate folds one observation into the series' aggregated tier:
+// accumulate while t lands in the open bucket, roll the bucket's average
+// into the agg ring when t crosses into a later bucket. Observations
+// older than the open bucket stay raw-only — the agg tier is append-only
+// by design, so a straggling out-of-order marker cannot rewrite history
+// that queries may already have served.
+func (r *Recorder) aggregate(s *series, t time.Time, v float64) {
+	bucket := t.Truncate(r.opts.AggStep)
+	switch {
+	case s.bucketN == 0 || s.bucketStart.IsZero():
+		s.bucketStart, s.bucketSum, s.bucketN = bucket, v, 1
+	case bucket.Equal(s.bucketStart):
+		s.bucketSum += v
+		s.bucketN++
+	case bucket.After(s.bucketStart):
+		s.agg.push(Point{T: s.bucketStart, V: s.bucketSum / float64(s.bucketN)})
+		s.bucketStart, s.bucketSum, s.bucketN = bucket, v, 1
+	}
+	// bucket before bucketStart: raw tier only.
+}
+
+// SeriesNames returns every recorded series name, sorted.
+func (r *Recorder) SeriesNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.series))
+	for name := range r.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Query returns the named series' points at or after since (zero = all
+// retained history), oldest first: aggregated-tier points for the span
+// the raw tier no longer covers, then the raw points. A step > 0
+// re-buckets the result by averaging per step — the ?step= selection of
+// the admin endpoint.
+func (r *Recorder) Query(name string, since time.Time, step time.Duration) []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	s, ok := r.series[name]
+	var out []Point
+	if ok {
+		raw := s.raw.points()
+		if oldestRaw, any := s.raw.oldest(); any {
+			for _, p := range s.agg.points() {
+				// Stitch on the bucket's END: an agg bucket that overlaps
+				// the raw span would double-count the raw points it
+				// averaged, so only buckets wholly before raw coverage
+				// contribute.
+				if !p.T.Add(r.opts.AggStep).After(oldestRaw.T) {
+					out = append(out, p)
+				}
+			}
+		} else {
+			out = s.agg.points()
+		}
+		out = append(out, raw...)
+	}
+	r.mu.Unlock()
+	if !since.IsZero() {
+		i := sort.Search(len(out), func(i int) bool { return !out[i].T.Before(since) })
+		out = out[i:]
+	}
+	if step > 0 {
+		out = rebucket(out, step)
+	}
+	return out
+}
+
+// rebucket averages time-ordered points per step-aligned bucket.
+func rebucket(pts []Point, step time.Duration) []Point {
+	var out []Point
+	var start time.Time
+	sum, n := 0.0, 0
+	flush := func() {
+		if n > 0 {
+			out = append(out, Point{T: start, V: sum / float64(n)})
+		}
+	}
+	for _, p := range pts {
+		b := p.T.Truncate(step)
+		if n == 0 || !b.Equal(start) {
+			flush()
+			start, sum, n = b, 0, 0
+		}
+		sum += p.V
+		n++
+	}
+	flush()
+	return out
+}
+
+// Latest returns the newest point of the series, ok=false when the
+// series is unknown or empty.
+func (r *Recorder) Latest(name string) (Point, bool) {
+	if r == nil {
+		return Point{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.series[name]
+	if !ok || s.raw.n == 0 {
+		return Point{}, false
+	}
+	return s.raw.at(s.raw.n - 1), true
+}
+
+// SeriesDump is one series in the /debug/timeseries response shape.
+type SeriesDump struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// DumpSeries renders every series whose name matches one of the given
+// prefixes (nil/empty = all) through Query(since, step), skipping series
+// with no points in range. A prefix matches exactly or as a name prefix,
+// so "transfer.task." selects every task timeline.
+func (r *Recorder) DumpSeries(prefixes []string, since time.Time, step time.Duration) []SeriesDump {
+	var out []SeriesDump
+	for _, name := range r.SeriesNames() {
+		if !matchesAny(name, prefixes) {
+			continue
+		}
+		pts := r.Query(name, since, step)
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, SeriesDump{Name: name, Points: pts})
+	}
+	return out
+}
+
+func matchesAny(name string, prefixes []string) bool {
+	if len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if p != "" && (name == p || strings.HasPrefix(name, p)) {
+			return true
+		}
+	}
+	return false
+}
+
+// SampleRegistry takes one sampling pass over the registry at time now:
+// every counter becomes a windowed rate on "<name>.rate" (negative
+// deltas after a registry reset clamp to zero), every gauge a value
+// sample on its own name, and every histogram a windowed observation
+// rate plus windowed p50/p90/p99 ("<name>.p50"...) computed from the
+// bucket deltas since the previous pass — the burn over the window, not
+// the all-time cumulative distribution, so quantile alerts can resolve
+// when the storm stops. A window with no new observations records 0 for
+// rate and quantiles. The first pass establishes baselines and records
+// only gauges.
+func (r *Recorder) SampleRegistry(reg *obs.Registry, now time.Time) {
+	if r == nil || reg == nil {
+		return
+	}
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	interval := now.Sub(r.lastSample)
+	first := r.lastSample.IsZero()
+	r.lastSample = now
+
+	for _, m := range reg.Snapshot() {
+		switch m.Kind {
+		case "gauge":
+			r.Observe(m.Name, now, float64(m.Value))
+		case "counter":
+			prev, seen := r.lastCounters[m.Name]
+			r.lastCounters[m.Name] = m.Value
+			if first || !seen || interval <= 0 {
+				continue
+			}
+			delta := m.Value - prev
+			if delta < 0 {
+				delta = 0 // registry reset: a rate is never negative
+			}
+			r.Observe(m.Name+".rate", now, float64(delta)/interval.Seconds())
+		}
+	}
+	for _, h := range reg.HistogramSnapshots() {
+		prev, seen := r.lastBuckets[h.Name]
+		r.lastBuckets[h.Name] = h.Counts
+		if first || !seen || interval <= 0 {
+			continue
+		}
+		window := windowCounts(h.Counts, prev)
+		total := int64(0)
+		if len(window) > 0 {
+			total = window[len(window)-1]
+		}
+		r.Observe(h.Name+".rate", now, float64(total)/interval.Seconds())
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{".p50", 0.50}, {".p90", 0.90}, {".p99", 0.99}} {
+			v := 0.0
+			if total > 0 {
+				v = obs.QuantileFromBuckets(h.Bounds, window, q.q)
+			}
+			r.Observe(h.Name+q.suffix, now, v)
+		}
+	}
+}
+
+// windowCounts computes the cumulative bucket counts of the window
+// between two cumulative snapshots, clamping negative deltas (registry
+// reset) to zero and re-monotonizing.
+func windowCounts(cur, prev []int64) []int64 {
+	out := make([]int64, len(cur))
+	var run int64
+	for i := range cur {
+		d := cur[i]
+		if i < len(prev) {
+			d -= prev[i]
+		}
+		if d < run {
+			d = run // cumulative counts never decrease
+		}
+		out[i] = d
+		run = d
+	}
+	return out
+}
+
+// Start launches the background sampling loop: every RawStep it samples
+// reg and, when engine is non-nil, evaluates the alert rules against the
+// fresh samples. The returned stop function halts the loop and waits for
+// it to exit; it is idempotent. Start may be called at most once per
+// Recorder.
+func (r *Recorder) Start(reg *obs.Registry, engine *Engine) (stop func()) {
+	r.stopCh = make(chan struct{})
+	r.doneCh = make(chan struct{})
+	go func() {
+		defer close(r.doneCh)
+		tick := time.NewTicker(r.opts.RawStep)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				now := time.Now()
+				r.SampleRegistry(reg, now)
+				engine.Eval(now)
+			case <-r.stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		r.stopOnce.Do(func() { close(r.stopCh) })
+		<-r.doneCh
+	}
+}

@@ -1,0 +1,290 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// t0 is an arbitrary fixed epoch aligned to every step used in these
+// tests, so bucket boundaries are exact.
+var t0 = time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+func testRecorder() *Recorder {
+	// Tiny geometry: 5 raw points, 3s agg buckets, 10 agg points.
+	return New(Options{
+		RawStep: time.Second, RawRetention: 5 * time.Second,
+		AggStep: 3 * time.Second, AggRetention: 30 * time.Second,
+	})
+}
+
+func TestTwoTierDownsamplingRollover(t *testing.T) {
+	r := testRecorder()
+	// Nine 1s samples: buckets [0,3) [3,6) close when crossed; [6,9) stays
+	// open until a 10th point arrives.
+	for i := 0; i < 9; i++ {
+		r.Observe("s", t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+
+	// Raw ring (cap 5) keeps the newest five: values 4..8.
+	raw := r.Query("s", t0.Add(4*time.Second), 0)
+	if len(raw) != 5 || raw[0].V != 4 || raw[4].V != 8 {
+		t.Fatalf("raw tail = %v, want values 4..8", raw)
+	}
+
+	// Aggregated tier holds the two closed buckets, stamped at the bucket
+	// start, averaging their three members: (0+1+2)/3=1, (3+4+5)/3=4.
+	all := r.Query("s", time.Time{}, 0)
+	// Raw retains 4..8 (oldest raw is t0+4s); agg points strictly before
+	// that: only the [0,3) bucket at t0. The [3,6) bucket (t0+3s) overlaps
+	// the raw span and must not be duplicated into the result.
+	if len(all) != 6 {
+		t.Fatalf("merged query = %v, want 1 agg + 5 raw points", all)
+	}
+	if !all[0].T.Equal(t0) || all[0].V != 1 {
+		t.Errorf("agg point = %+v, want t0 avg 1", all[0])
+	}
+	for i := 1; i < len(all); i++ {
+		if !all[i].T.After(all[i-1].T) {
+			t.Errorf("merged points not strictly increasing at %d: %v", i, all)
+		}
+	}
+
+	// The open [6,9) bucket has not rolled over: a query stepping at 3s
+	// over the raw tail still sees its raw members.
+	stepped := r.Query("s", time.Time{}, 3*time.Second)
+	// Buckets: t0 (agg avg 1), t0+3 (raw 4,5 → wait raw starts at 4s) —
+	// compute: points are (t0,1) (4s,4) (5s,5) (6s,6) (7s,7) (8s,8):
+	// t0→1, t0+3s→(4+5)/2=4.5, t0+6s→(6+7+8)/3=7.
+	want := []Point{{t0, 1}, {t0.Add(3 * time.Second), 4.5}, {t0.Add(6 * time.Second), 7}}
+	if len(stepped) != len(want) {
+		t.Fatalf("stepped = %v, want %v", stepped, want)
+	}
+	for i := range want {
+		if !stepped[i].T.Equal(want[i].T) || math.Abs(stepped[i].V-want[i].V) > 1e-9 {
+			t.Errorf("stepped[%d] = %+v, want %+v", i, stepped[i], want[i])
+		}
+	}
+}
+
+func TestExactTierBoundary(t *testing.T) {
+	r := testRecorder()
+	// A point exactly on an agg-bucket boundary opens the next bucket; the
+	// previous bucket's average lands at the previous bucket's start.
+	r.Observe("s", t0.Add(2*time.Second), 10)
+	r.Observe("s", t0.Add(3*time.Second), 20) // exactly on the [3,6) edge
+	all := r.Query("s", time.Time{}, 0)
+	if len(all) != 2 {
+		t.Fatalf("points = %v", all)
+	}
+	// Force the open bucket to roll and check its stamp.
+	r.Observe("s", t0.Add(6*time.Second), 30)
+	r.mu.Lock()
+	agg := r.series["s"].agg.points()
+	r.mu.Unlock()
+	if len(agg) != 2 {
+		t.Fatalf("agg = %v, want 2 closed buckets", agg)
+	}
+	if !agg[0].T.Equal(t0) || agg[0].V != 10 {
+		t.Errorf("agg[0] = %+v, want {t0 10}", agg[0])
+	}
+	if !agg[1].T.Equal(t0.Add(3*time.Second)) || agg[1].V != 20 {
+		t.Errorf("agg[1] = %+v, want {t0+3s 20}", agg[1])
+	}
+}
+
+func TestOutOfOrderObserve(t *testing.T) {
+	r := testRecorder()
+	r.Observe("s", t0.Add(1*time.Second), 1)
+	r.Observe("s", t0.Add(4*time.Second), 4)
+	r.Observe("s", t0.Add(2*time.Second), 2) // late marker, still in raw span
+
+	pts := r.Query("s", time.Time{}, 0)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T.Before(pts[i-1].T) {
+			t.Fatalf("raw points out of order: %v", pts)
+		}
+	}
+	if len(pts) != 3 || pts[1].V != 2 {
+		t.Fatalf("points = %v, want the late sample in the middle", pts)
+	}
+
+	// The agg tier is append-only: the late point must not reopen or
+	// rewrite a closed bucket.
+	r.Observe("s", t0.Add(7*time.Second), 7) // closes [3,6)
+	r.mu.Lock()
+	aggBefore := r.series["s"].agg.points()
+	r.mu.Unlock()
+	r.Observe("s", t0.Add(5*time.Second), 100) // straggler into closed [3,6)
+	r.mu.Lock()
+	aggAfter := r.series["s"].agg.points()
+	r.mu.Unlock()
+	if len(aggAfter) != len(aggBefore) {
+		t.Fatalf("straggler reopened agg tier: %v -> %v", aggBefore, aggAfter)
+	}
+	for i := range aggBefore {
+		if aggAfter[i] != aggBefore[i] {
+			t.Fatalf("straggler rewrote closed bucket %d: %v -> %v", i, aggBefore, aggAfter)
+		}
+	}
+	// ...but it does land in the raw tier.
+	if pts := r.Query("s", time.Time{}, 0); len(pts) != 5 {
+		t.Fatalf("raw points = %v, want straggler inserted", pts)
+	}
+
+	// A point older than every retained raw point in a full ring drops.
+	for i := 10; i < 15; i++ { // fill the 5-slot ring
+		r.Observe("s", t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	before := len(r.Query("s", time.Time{}, 0))
+	r.Observe("s", t0.Add(1*time.Second), 999)
+	after := r.Query("s", time.Time{}, 0)
+	if len(after) != before {
+		t.Fatalf("too-old point was stored: %v", after)
+	}
+	for _, p := range after {
+		if p.V == 999 {
+			t.Fatalf("too-old point present: %v", after)
+		}
+	}
+}
+
+func TestObserveRejectsGarbage(t *testing.T) {
+	r := testRecorder()
+	r.Observe("", t0, 1)
+	r.Observe("s", time.Time{}, 1)
+	r.Observe("s", t0, math.NaN())
+	r.Observe("s", t0, math.Inf(1))
+	if names := r.SeriesNames(); len(names) != 0 {
+		t.Fatalf("garbage observations created series %v", names)
+	}
+	var nilRec *Recorder
+	nilRec.Observe("s", t0, 1) // must not panic
+	if _, ok := nilRec.Latest("s"); ok {
+		t.Fatal("nil recorder returned a point")
+	}
+}
+
+func TestSampleRegistryRatesAndReset(t *testing.T) {
+	r := New(Options{})
+	reg := obs.NewRegistry()
+	reg.Counter("c").Add(100)
+	reg.Gauge("g").Set(7)
+
+	r.SampleRegistry(reg, t0) // baseline pass: gauges only
+	if _, ok := r.Latest("c.rate"); ok {
+		t.Fatal("first pass recorded a counter rate")
+	}
+	if p, ok := r.Latest("g"); !ok || p.V != 7 {
+		t.Fatalf("gauge sample = %v %v, want 7", p, ok)
+	}
+
+	reg.Counter("c").Add(50)
+	r.SampleRegistry(reg, t0.Add(2*time.Second))
+	if p, ok := r.Latest("c.rate"); !ok || math.Abs(p.V-25) > 1e-9 {
+		t.Fatalf("c.rate = %v %v, want 25/s (50 over 2s)", p, ok)
+	}
+
+	// A registry reset (fresh registry, same names, lower counts) must
+	// clamp the negative delta to a zero rate, not a negative one.
+	reg2 := obs.NewRegistry()
+	reg2.Counter("c").Add(10)
+	r.SampleRegistry(reg2, t0.Add(3*time.Second))
+	if p, ok := r.Latest("c.rate"); !ok || p.V != 0 {
+		t.Fatalf("post-reset c.rate = %v %v, want clamped 0", p, ok)
+	}
+}
+
+func TestSampleRegistryWindowedQuantiles(t *testing.T) {
+	r := New(Options{})
+	reg := obs.NewRegistry()
+	h := reg.Histogram("lat", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+
+	r.SampleRegistry(reg, t0) // baseline
+
+	// A burst of slow observations: the windowed p99 reflects only them.
+	for i := 0; i < 20; i++ {
+		h.Observe(5)
+	}
+	r.SampleRegistry(reg, t0.Add(time.Second))
+	p, ok := r.Latest("lat.p99")
+	if !ok || p.V <= 1 {
+		t.Fatalf("windowed p99 = %v %v, want > 1 (burst of 5s observations)", p, ok)
+	}
+	if rate, ok := r.Latest("lat.rate"); !ok || math.Abs(rate.V-20) > 1e-9 {
+		t.Fatalf("lat.rate = %v %v, want 20/s", rate, ok)
+	}
+
+	// Quiet window: rate and quantiles drop to the 0 sentinel, which is
+	// what lets quantile alerts resolve.
+	r.SampleRegistry(reg, t0.Add(2*time.Second))
+	if p, ok := r.Latest("lat.p99"); !ok || p.V != 0 {
+		t.Fatalf("quiet-window p99 = %v %v, want 0", p, ok)
+	}
+	if p, ok := r.Latest("lat.rate"); !ok || p.V != 0 {
+		t.Fatalf("quiet-window rate = %v %v, want 0", p, ok)
+	}
+}
+
+func TestDumpSeriesPrefixes(t *testing.T) {
+	r := New(Options{})
+	r.Observe("transfer.task.t1.throughput", t0, 1)
+	r.Observe("transfer.task.t2.throughput", t0, 2)
+	r.Observe("gridftp.server.command_seconds.p99", t0, 3)
+
+	all := r.DumpSeries(nil, time.Time{}, 0)
+	if len(all) != 3 {
+		t.Fatalf("DumpSeries(nil) = %d series, want 3", len(all))
+	}
+	tasks := r.DumpSeries([]string{"transfer.task."}, time.Time{}, 0)
+	if len(tasks) != 2 {
+		t.Fatalf("prefix dump = %v, want the 2 task series", tasks)
+	}
+	exact := r.DumpSeries([]string{"gridftp.server.command_seconds.p99"}, time.Time{}, 0)
+	if len(exact) != 1 || len(exact[0].Points) != 1 {
+		t.Fatalf("exact dump = %v", exact)
+	}
+	// since beyond all points → series with no in-range points are skipped.
+	if got := r.DumpSeries(nil, t0.Add(time.Hour), 0); len(got) != 0 {
+		t.Fatalf("future since dump = %v, want empty", got)
+	}
+}
+
+func TestStartSamplesAndStops(t *testing.T) {
+	r := New(Options{RawStep: 5 * time.Millisecond})
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(42)
+	stop := r.Start(reg, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if p, ok := r.Latest("g"); ok && p.V == 42 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler never recorded the gauge")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestConcurrentObserveAndQuery(t *testing.T) {
+	r := New(Options{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			r.Observe("s", t0.Add(time.Duration(i)*time.Millisecond), float64(i))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		r.Query("s", time.Time{}, 0)
+		r.Latest("s")
+		r.SeriesNames()
+	}
+	<-done
+}

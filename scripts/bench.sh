@@ -23,7 +23,7 @@
 # documented in README.md ("Benchmark trajectory").
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_4.json}"
+out="${1:-BENCH_5.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT INT TERM
 

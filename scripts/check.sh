@@ -30,6 +30,7 @@ echo "==> go test -race (obs tree, collector, admin, gridftp, transfer, netsim, 
 go test -race "$@" \
 	./internal/obs/... \
 	./internal/obs/collector/ \
+	./internal/obs/tsdb/ \
 	./internal/admin/ \
 	./internal/gridftp/ \
 	./internal/transfer/ \
