@@ -18,6 +18,10 @@
 //	benchreport -dashboard http://127.0.0.1:9970
 //	                                   # live telemetry dashboard: sparklines
 //	                                   # per series, active alerts, top tasks
+//	benchreport -fleet-dashboard http://127.0.0.1:9971
+//	                                   # fleet federation dashboard: instance
+//	                                   # registry, fleet alerts, diagnostic
+//	                                   # bundles, fleet.* sparklines
 package main
 
 import (
@@ -43,7 +47,16 @@ func main() {
 	timeline := flag.String("trace-timeline", "", "comma-separated span-export sources (JSON files or http(s):// /debug/spans URLs); stitch them and render per-trace timelines")
 	traceID := flag.String("trace", "", "with -trace-timeline: render only this trace id")
 	dashboard := flag.String("dashboard", "", "render a terminal telemetry dashboard from an admin-plane base URL (sparklines, alerts, top tasks) or a saved /debug/timeseries JSON file")
+	fleetDashboard := flag.String("fleet-dashboard", "", "render a fleet federation dashboard (instance registry, fleet alerts, bundles, fleet.* sparklines) from a fleet head's admin-plane base URL")
 	flag.Parse()
+
+	if *fleetDashboard != "" {
+		if err := renderFleetDashboard(*fleetDashboard); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *dashboard != "" {
 		if err := renderDashboard(*dashboard); err != nil {

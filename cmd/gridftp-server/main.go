@@ -12,11 +12,17 @@
 //	gridftp-server [-name siteA] [-user alice] [-password secret]
 //	               [-stripes N] [-selftest] [-oauth] [-verbose] [-metrics]
 //	               [-admin 127.0.0.1:9970] [-collector http://host/v1/spans]
+//	               [-fleet-push http://head/v1/metrics] [-fleet-instance name]
 //
 // With -admin, an HTTP admin plane (Prometheus /metrics, /healthz,
 // /readyz, /debug/spans, /debug/events, /debug/pprof/) is served on the
 // given address and the process holds until SIGINT/SIGTERM so the
 // endpoints stay scrapeable.
+//
+// With -fleet-push, the server periodically pushes its metrics snapshot
+// (exemplars included) to a fleet federation head — a transfer-service
+// run with -fleet — which merges every instance's series into fleet-wide
+// aggregates.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
+	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -44,11 +51,22 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
 	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
+	fleetPush := flag.String("fleet-push", "", "push this server's metrics to a fleet head's /v1/metrics URL")
+	fleetInstance := flag.String("fleet-instance", "", "instance name for -fleet-push (default: -name)")
+	fleetPushInterval := flag.Duration("fleet-push-interval", time.Second, "push cadence for -fleet-push")
 	flag.Parse()
 
 	o := obs.FromEnv()
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
+	}
+	if *fleetPush != "" {
+		instance := *fleetInstance
+		if instance == "" {
+			instance = *name
+		}
+		stopPush := fleet.StartPusher(*fleetPush, instance, o, *fleetPushInterval)
+		defer stopPush()
 	}
 	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o)
 	if *metrics {

@@ -10,6 +10,8 @@
 //	transfer-service [-size 8M] [-files 1] [-fault] [-oauth] [-verbose] [-metrics]
 //	                 [-concurrency 0] [-max-active 32] [-marker-interval 25ms]
 //	                 [-admin 127.0.0.1:9971] [-collector http://host/v1/spans]
+//	                 [-fleet] [-fleet-scrape name=url,...] [-fleet-bundle-dir dir]
+//	                 [-fleet-push http://head/v1/metrics] [-fleet-instance name]
 //
 // With -files N (N > 1), the demo transfers a directory of N files of
 // -size each, exercising the concurrent scheduler: -concurrency pins the
@@ -20,6 +22,12 @@
 // With -admin, the HTTP admin plane (Prometheus /metrics, /debug/events,
 // ...) is served on the given address and the process holds after the
 // demo transfer until SIGINT/SIGTERM.
+//
+// With -fleet (or -fleet-scrape / -fleet-bundle-dir), the admin plane
+// additionally acts as the fleet federation head: other processes push
+// their expfmt snapshots to /v1/metrics (see -fleet-push), the head
+// merges them into fleet-wide aggregates under /fleet/metrics, and
+// firing fleet alerts capture diagnostic bundles into -fleet-bundle-dir.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
+	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -53,20 +62,32 @@ func main() {
 	metrics := flag.Bool("metrics", false, "dump the metrics/span snapshot on exit")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold until interrupted")
 	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
+	fleetHead := flag.Bool("fleet", false, "act as the fleet federation head (requires -admin): accept pushes on /v1/metrics, serve /fleet/*")
+	fleetScrape := flag.String("fleet-scrape", "", "comma-separated name=url /metrics endpoints the fleet head scrapes (implies -fleet)")
+	fleetBundleDir := flag.String("fleet-bundle-dir", "", "directory for alert-triggered diagnostic bundles (implies -fleet)")
+	fleetPush := flag.String("fleet-push", "", "push this process's metrics to a fleet head's /v1/metrics URL")
+	fleetInstance := flag.String("fleet-instance", "transfer-service", "instance name for -fleet-push")
+	fleetPushInterval := flag.Duration("fleet-push-interval", time.Second, "push cadence for -fleet-push")
 	flag.Parse()
 	o := obs.FromEnv()
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
 	}
 	err := run(runOptions{
-		sizeStr:        *sizeStr,
-		files:          *files,
-		concurrency:    *concurrency,
-		maxActive:      *maxActive,
-		markerInterval: *markerInterval,
-		fault:          *fault,
-		useOAuth:       *useOAuth,
-		adminAddr:      *adminAddr,
+		sizeStr:           *sizeStr,
+		files:             *files,
+		concurrency:       *concurrency,
+		maxActive:         *maxActive,
+		markerInterval:    *markerInterval,
+		fault:             *fault,
+		useOAuth:          *useOAuth,
+		adminAddr:         *adminAddr,
+		fleetHead:         *fleetHead || *fleetScrape != "" || *fleetBundleDir != "",
+		fleetScrape:       *fleetScrape,
+		fleetBundleDir:    *fleetBundleDir,
+		fleetPush:         *fleetPush,
+		fleetInstance:     *fleetInstance,
+		fleetPushInterval: *fleetPushInterval,
 	}, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
@@ -100,14 +121,20 @@ func parseSize(s string) int {
 }
 
 type runOptions struct {
-	sizeStr        string
-	files          int
-	concurrency    int
-	maxActive      int
-	markerInterval time.Duration
-	fault          bool
-	useOAuth       bool
-	adminAddr      string
+	sizeStr           string
+	files             int
+	concurrency       int
+	maxActive         int
+	markerInterval    time.Duration
+	fault             bool
+	useOAuth          bool
+	adminAddr         string
+	fleetHead         bool
+	fleetScrape       string
+	fleetBundleDir    string
+	fleetPush         string
+	fleetInstance     string
+	fleetPushInterval time.Duration
 }
 
 func run(opts runOptions, o *obs.Obs) error {
@@ -133,6 +160,35 @@ func run(opts runOptions, o *obs.Obs) error {
 		}
 		defer adm.Close()
 		fmt.Printf("admin plane: http://%s/\n", addr)
+
+		if opts.fleetHead {
+			// Federation head: accept expfmt pushes on /v1/metrics, scrape
+			// any configured peers, and serve fleet aggregates, alerts, and
+			// diagnostic bundles under /fleet/*.
+			fl := fleet.New(fleet.Options{
+				Obs:    o,
+				Bundle: fleet.BundleOptions{Dir: opts.fleetBundleDir},
+			})
+			for _, target := range strings.Split(opts.fleetScrape, ",") {
+				target = strings.TrimSpace(target)
+				if target == "" {
+					continue
+				}
+				name, url, ok := strings.Cut(target, "=")
+				if !ok {
+					return fmt.Errorf("-fleet-scrape: want name=url, got %q", target)
+				}
+				fl.AddScrapeTarget(name, url)
+			}
+			stopFleet := fl.Start()
+			defer stopFleet()
+			adm.SetFleet(fl.Handler())
+			fmt.Printf("fleet head: push to http://%s/v1/metrics, browse http://%s/fleet/metrics\n", addr, addr)
+		}
+	}
+	if opts.fleetPush != "" {
+		stopPush := fleet.StartPusher(opts.fleetPush, opts.fleetInstance, o, opts.fleetPushInterval)
+		defer stopPush()
 	}
 
 	install := func(name, pw string) (*gcmu.Endpoint, *dsi.FaultStorage, error) {

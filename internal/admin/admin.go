@@ -61,6 +61,11 @@ type Server struct {
 	hub       streamHub
 	heartbeat time.Duration
 
+	// fleet is the federation head's HTTP plane (internal/obs/fleet),
+	// delegated to under /fleet/ and /v1/metrics; nil answers 503 so the
+	// admin plane keeps one shape whether or not this daemon federates.
+	fleet http.Handler
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -83,6 +88,8 @@ func New(o *obs.Obs) *Server {
 	s.mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
 	s.mux.HandleFunc("/debug/stream", s.handleStream)
 	s.mux.HandleFunc("/alerts", s.handleAlerts)
+	s.mux.HandleFunc("/fleet/", s.handleFleet)
+	s.mux.HandleFunc("/v1/metrics", s.handleFleet)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -94,6 +101,25 @@ func New(o *obs.Obs) *Server {
 // Handler returns the admin mux (for httptest and for embedding the
 // admin plane under an existing server).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetFleet mounts a fleet federation handler (internal/obs/fleet) under
+// /fleet/ and /v1/metrics. Nil unmounts; the routes then answer 503.
+func (s *Server) SetFleet(h http.Handler) {
+	s.mu.Lock()
+	s.fleet = h
+	s.mu.Unlock()
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.fleet
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "fleet federation not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
 
 // AddHealth registers a liveness probe under name (replacing any probe
 // of the same name).
@@ -171,6 +197,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /alerts         SLO alert rules with live state (JSON)")
 	fmt.Fprintln(w, "  /debug/timeseries  recorded series (JSON; ?series= ?since=30s ?step=5s)")
 	fmt.Fprintln(w, "  /debug/stream   live SSE feed (metric deltas, events, alerts)")
+	fmt.Fprintln(w, "  /fleet/         fleet federation plane (instances, metrics, timeseries, bundles)")
+	fmt.Fprintln(w, "  /v1/metrics     fleet metric push ingest (POST, expfmt)")
 	fmt.Fprintln(w, "  /debug/pprof/   Go profiling")
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -28,9 +29,13 @@ import (
 )
 
 // streamFrame is one SSE message: an event name plus a JSON payload.
+// Frames carrying an eventlog entry also carry its monotone sequence
+// number as the SSE id, which is what makes Last-Event-ID resume work;
+// id 0 means the frame type has no resume semantics (metrics, alerts).
 type streamFrame struct {
 	event string
 	data  []byte
+	id    int64
 }
 
 // streamBuffer is each /debug/stream client's channel depth. A client
@@ -136,7 +141,9 @@ func (s *Server) EnableTelemetry(o *obs.Obs, rules []tsdb.Rule) (stop func()) {
 	// Live-stream taps: every appended event and every alert transition
 	// becomes an SSE frame the moment it happens.
 	untapEvents := o.EventLog().Tap(func(ev eventlog.Event) {
-		s.hub.broadcast(jsonFrame("event", ev))
+		f := jsonFrame("event", ev)
+		f.id = ev.Seq
+		s.hub.broadcast(f)
 	})
 	untapAlerts := eng.Tap(func(tr tsdb.Transition) {
 		s.hub.broadcast(jsonFrame("alert", tr))
@@ -287,6 +294,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	// Validate the resume cursor before committing the 200/SSE headers.
+	resume := int64(-1)
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		lastID, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || lastID < 0 {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		resume = lastID
+	}
+
 	id, ch := s.hub.subscribe()
 	defer s.hub.unsubscribe(id)
 
@@ -297,6 +315,38 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fl.Flush()
+
+	writeFrame := func(f streamFrame) bool {
+		if f.id > 0 {
+			if _, err := fmt.Fprintf(w, "id: %d\n", f.id); err != nil {
+				return false
+			}
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	// Last-Event-ID resume: replay retained events the client missed
+	// while disconnected. The subscription is already live, so an event
+	// appended during the replay is not lost — it arrives on the channel
+	// and is skipped there if the replay already covered it.
+	var replayed int64
+	if resume >= 0 {
+		for _, ev := range s.o.EventLog().Events() {
+			if ev.Seq <= resume {
+				continue
+			}
+			f := jsonFrame("event", ev)
+			f.id = ev.Seq
+			if !writeFrame(f) {
+				return
+			}
+			replayed = ev.Seq
+		}
+	}
 
 	hb := s.heartbeat
 	if hb <= 0 {
@@ -321,10 +371,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 				// channel is the signal to hang up.
 				return
 			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", f.event, f.data); err != nil {
+			if f.id > 0 && f.id <= replayed {
+				continue // already delivered by the resume replay
+			}
+			if !writeFrame(f) {
 				return
 			}
-			fl.Flush()
 		}
 	}
 }

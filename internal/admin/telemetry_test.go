@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -323,4 +324,95 @@ func TestEnableTelemetrySamplesAndAlerts(t *testing.T) {
 	}
 	stop()
 	stop() // idempotent
+}
+
+func TestStreamLastEventIDResume(t *testing.T) {
+	o := obs.Nop()
+	s := New(o)
+	stop := s.EnableTelemetry(o, []tsdb.Rule{})
+	defer stop()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Three events happen while the "dashboard" is disconnected.
+	e1 := o.EventLog().Append("transfer.start", "task", "t1")
+	o.EventLog().Append("transfer.progress", "task", "t1")
+	o.EventLog().Append("transfer.done", "task", "t1")
+
+	// Reconnect having seen only the first event: the two missed events
+	// replay immediately, each with its id line.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/debug/stream", nil)
+	req.Header.Set("Last-Event-ID", strconv.FormatInt(e1.Seq, 10))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+
+	c := &sseClient{done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			c.mu.Lock()
+			c.raw = append(c.raw, line)
+			if strings.HasPrefix(line, "event: ") {
+				c.events = append(c.events, strings.TrimPrefix(line, "event: "))
+			}
+			c.mu.Unlock()
+		}
+	}()
+
+	countPayload := func(substr string) int {
+		_, raw := c.snapshot()
+		n := 0
+		for _, line := range raw {
+			if strings.HasPrefix(line, "data: ") && strings.Contains(line, substr) {
+				n++
+			}
+		}
+		return n
+	}
+	waitFor(t, "replayed events", func() bool {
+		return countPayload(`"transfer.progress"`) == 1 && countPayload(`"transfer.done"`) == 1
+	})
+	if got := countPayload(`"transfer.start"`); got != 0 {
+		t.Errorf("event before Last-Event-ID replayed %d times, want 0", got)
+	}
+	// id lines carry the eventlog sequence numbers.
+	_, raw := c.snapshot()
+	ids := 0
+	for _, line := range raw {
+		if strings.HasPrefix(line, "id: ") {
+			if _, err := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64); err != nil {
+				t.Errorf("bad id line %q", line)
+			}
+			ids++
+		}
+	}
+	if ids != 2 {
+		t.Errorf("got %d id lines after replay, want 2", ids)
+	}
+
+	// A live event arrives exactly once — the replay boundary must not
+	// duplicate or swallow it.
+	waitFor(t, "subscription live", func() bool { return s.StreamClientCount() == 1 })
+	o.EventLog().Append("transfer.start", "task", "t2")
+	waitFor(t, "live event after resume", func() bool { return countPayload(`"t2"`) >= 1 })
+	if got := countPayload(`"t2"`); got != 1 {
+		t.Errorf("live event delivered %d times, want 1", got)
+	}
+
+	// A malformed Last-Event-ID is a 400, not a silent full replay.
+	req2, _ := http.NewRequest(http.MethodGet, ts.URL+"/debug/stream", nil)
+	req2.Header.Set("Last-Event-ID", "not-a-number")
+	resp2, err := ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed Last-Event-ID: status %d, want 400", resp2.StatusCode)
+	}
 }

@@ -771,17 +771,23 @@ func (sess *session) eventAbort(op, path string, err error) {
 }
 
 // observeTransfer feeds the transfer latency histograms: the unlabeled
-// aggregate plus the ok|err outcome split.
+// aggregate plus the ok|err outcome split. The command span's trace id
+// rides along as the bucket exemplar so a fleet-level latency alert can
+// name a representative transfer trace.
 func (sess *session) observeTransfer(dur time.Duration, ok bool) {
 	reg := sess.srv.cfg.Obs.Registry()
+	var traceID string
+	if sess.cmdSpan != nil {
+		traceID = sess.cmdSpan.TraceID.String()
+	}
 	reg.Histogram("gridftp.server.transfer_seconds", obs.DefaultDurationBuckets).
-		Observe(dur.Seconds())
+		ObserveExemplar(dur.Seconds(), traceID)
 	outcome := "outcome=ok"
 	if !ok {
 		outcome = "outcome=err"
 	}
 	reg.Histogram(obs.Name("gridftp.server.transfer_seconds", outcome), obs.DefaultDurationBuckets).
-		Observe(dur.Seconds())
+		ObserveExemplar(dur.Seconds(), traceID)
 }
 
 func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration) {

@@ -277,13 +277,20 @@ func (sess *session) loop() {
 		start := time.Now()
 		sess.beginCommandSpan(cmd)
 		quit := sess.dispatch(cmd)
+		// Capture the trace id before endCommandSpan clears the span: the
+		// histogram exemplar is what links a fleet latency alert back to a
+		// representative trace in the collector.
+		var traceID string
+		if sess.cmdSpan != nil {
+			traceID = sess.cmdSpan.TraceID.String()
+		}
 		sess.endCommandSpan()
 		dur := time.Since(start).Seconds()
-		cmdHist.Observe(dur)
+		cmdHist.ObserveExemplar(dur, traceID)
 		if sess.lastReplyCode >= 400 {
-			cmdErr.Observe(dur)
+			cmdErr.ObserveExemplar(dur, traceID)
 		} else {
-			cmdOK.Observe(dur)
+			cmdOK.ObserveExemplar(dur, traceID)
 		}
 		if quit {
 			return

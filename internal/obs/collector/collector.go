@@ -67,16 +67,26 @@ func FromInfos(process string, infos []obs.SpanInfo) []Span {
 type Collector struct {
 	mu     sync.Mutex
 	traces map[string][]Span
+	// seen indexes ingested (trace id, span id) pairs so a retried
+	// export is idempotent: the exporter side pushes periodically and on
+	// network errors re-sends whole snapshots, and duplicated spans would
+	// corrupt stitched traces (double roots, inflated critical paths).
+	seen map[string]map[string]bool
 }
 
 // New returns an empty collector.
 func New() *Collector {
-	return &Collector{traces: make(map[string][]Span)}
+	return &Collector{
+		traces: make(map[string][]Span),
+		seen:   make(map[string]map[string]bool),
+	}
 }
 
 // Add ingests spans, grouping them by trace id. Spans without identity
 // or without an end time are dropped (the export side should already
-// have filtered them).
+// have filtered them). Ingest is idempotent per (trace id, span id):
+// the first copy of a span wins and later copies are ignored, so
+// re-pushing the same export is safe.
 func (c *Collector) Add(spans ...Span) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -84,8 +94,39 @@ func (c *Collector) Add(spans ...Span) {
 		if s.TraceID == "" || s.SpanID == "" || s.End.IsZero() {
 			continue
 		}
+		ids := c.seen[s.TraceID]
+		if ids == nil {
+			ids = make(map[string]bool)
+			c.seen[s.TraceID] = ids
+		}
+		if ids[s.SpanID] {
+			continue
+		}
+		ids[s.SpanID] = true
 		c.traces[s.TraceID] = append(c.traces[s.TraceID], s)
 	}
+}
+
+// HasTrace reports whether the collector holds any span of the given
+// trace — the lookup behind exemplar resolution: a fleet exemplar's
+// trace id is resolvable when the trace exists here.
+func (c *Collector) HasTrace(traceID string) bool {
+	if c == nil || traceID == "" {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces[traceID]) > 0
+}
+
+// SpanCount returns the number of spans held for the given trace id.
+func (c *Collector) SpanCount(traceID string) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces[traceID])
 }
 
 // TraceIDs lists the trace ids seen so far, sorted.

@@ -344,3 +344,67 @@ func TestParseExportAdminShape(t *testing.T) {
 		t.Error("admin-shaped export did not stitch into a connected trace")
 	}
 }
+
+func TestIdempotentIngest(t *testing.T) {
+	// A retried POST /v1/spans (or an exporter re-pushing its whole
+	// snapshot) must not duplicate spans in the stitched trace.
+	svc, src, dst, traceID := threeProcessTrace(t)
+	c := New()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	push := func(export []Span) {
+		t.Helper()
+		body, _ := json.Marshal(pushPayload{Spans: export})
+		resp, err := http.Post(ts.URL+"/v1/spans", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("push: %s", resp.Status)
+		}
+	}
+	for _, export := range [][]Span{svc, src, dst} {
+		push(export)
+	}
+	want := c.SpanCount(traceID)
+	if want != 6 {
+		t.Fatalf("SpanCount = %d, want 6", want)
+	}
+
+	// Re-push every export twice more: span count and stitch must not move.
+	for i := 0; i < 2; i++ {
+		for _, export := range [][]Span{svc, src, dst} {
+			push(export)
+		}
+	}
+	if got := c.SpanCount(traceID); got != want {
+		t.Fatalf("SpanCount after re-push = %d, want %d", got, want)
+	}
+	tr := c.Stitch(traceID)
+	if !tr.Connected() || len(tr.Spans) != want || len(tr.Roots) != 1 {
+		t.Fatalf("stitch after re-push: connected=%v spans=%d roots=%d",
+			tr.Connected(), len(tr.Spans), len(tr.Roots))
+	}
+
+	// The resolution endpoint sees the trace; an unknown id resolves false.
+	var has struct {
+		Found bool `json:"found"`
+		Spans int  `json:"spans"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/has?id=" + traceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&has); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !has.Found || has.Spans != want {
+		t.Fatalf("/v1/has = %+v, want found with %d spans", has, want)
+	}
+	if !c.HasTrace(traceID) || c.HasTrace("feedfacefeedfacefeedfacefeedface") {
+		t.Error("HasTrace misresolves")
+	}
+}

@@ -23,6 +23,7 @@ type pushPayload struct {
 //
 //	POST /v1/spans      ingest a span export ({"process": ..., "spans": [...]})
 //	GET  /v1/traces     list known trace ids (JSON array)
+//	GET  /v1/has?id=    exemplar→trace resolution: {"found": bool, "spans": n}
 //	GET  /v1/trace?id=  one stitched trace: spans, roots, orphans,
 //	                    critical path, gaps, and the rendered timeline
 func (c *Collector) Handler() http.Handler {
@@ -47,6 +48,15 @@ func (c *Collector) Handler() http.Handler {
 	})
 	mux.HandleFunc("/v1/traces", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.TraceIDs())
+	})
+	mux.HandleFunc("/v1/has", func(w http.ResponseWriter, r *http.Request) {
+		// Lightweight exemplar→trace resolution: a fleet dashboard holding
+		// an exemplar trace id asks whether the collector can expand it
+		// before linking, without paying for a full stitch.
+		id := r.URL.Query().Get("id")
+		writeJSON(w, map[string]any{
+			"id": id, "found": c.HasTrace(id), "spans": c.SpanCount(id),
+		})
 	})
 	mux.HandleFunc("/v1/trace", func(w http.ResponseWriter, r *http.Request) {
 		id := r.URL.Query().Get("id")

@@ -63,7 +63,7 @@ func TestWriteTextHistogram(t *testing.T) {
 			continue
 		}
 		buckets++
-		_, _, v, err := parseSample(line)
+		_, _, v, _, err := parseSample(line)
 		if err != nil {
 			t.Fatalf("parseSample(%q): %v", line, err)
 		}
@@ -197,6 +197,79 @@ func TestRoundTrip(t *testing.T) {
 	}
 	if hm.P50 <= 0 || hm.P90 <= 0 || hm.P99 <= 0 {
 		t.Errorf("histogram quantiles not recomputed: %+v", hm)
+	}
+}
+
+func TestExemplarRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	h := r.Histogram("transfer.seconds", []float64{0.1, 1, 10})
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveExemplar(5.0, "00f067aa0ba902b7aabbccddeeff0011")
+	h.Observe(0.5) // untraced: bucket keeps no exemplar
+
+	var b strings.Builder
+	if err := WriteText(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05`) {
+		t.Fatalf("exemplar not written:\n%s", text)
+	}
+
+	snap, err := ParseTextSnapshot(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseTextSnapshot: %v", err)
+	}
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v, want 1", snap.Histograms)
+	}
+	hs := snap.Histograms[0]
+	if hs.Count != 3 || len(hs.Bounds) != 4 || len(hs.Exemplars) != 4 {
+		t.Fatalf("parsed histogram shape wrong: %+v", hs)
+	}
+	// Bucket 0 holds 0.05's exemplar, bucket 2 (1,10] holds 5.0's,
+	// bucket 1 has none (only an untraced observation landed there).
+	if hs.Exemplars[0].TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || hs.Exemplars[0].Value != 0.05 {
+		t.Errorf("bucket 0 exemplar = %+v", hs.Exemplars[0])
+	}
+	if hs.Exemplars[2].TraceID != "00f067aa0ba902b7aabbccddeeff0011" {
+		t.Errorf("bucket 2 exemplar = %+v", hs.Exemplars[2])
+	}
+	if hs.Exemplars[1].TraceID != "" {
+		t.Errorf("bucket 1 should have no exemplar, got %+v", hs.Exemplars[1])
+	}
+	if hs.Exemplars[0].Time.IsZero() {
+		t.Errorf("exemplar timestamp not round-tripped")
+	}
+
+	// A plain ParseText consumer sees the same totals and ignores
+	// exemplars entirely.
+	metrics, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText with exemplars: %v", err)
+	}
+	if len(metrics) != 1 || metrics[0].Value != 3 {
+		t.Errorf("ParseText = %+v, want one histogram with count 3", metrics)
+	}
+}
+
+func TestParseSampleExemplarWithoutLabels(t *testing.T) {
+	// An unlabeled sample followed by an exemplar must not mistake the
+	// exemplar's brace block for a label set.
+	name, labels, v, ex, err := parseSample(`foo_total 5 # {trace_id="abcd"} 0.3 1712000000.250`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "foo_total" || len(labels) != 0 || v != 5 {
+		t.Errorf("parsed %q %v %v", name, labels, v)
+	}
+	if ex == nil || ex.TraceID != "abcd" || ex.Value != 0.3 || ex.Time.IsZero() {
+		t.Errorf("exemplar = %+v", ex)
+	}
+	// Malformed exemplars are dropped, never fatal.
+	_, _, _, ex, err = parseSample(`bar_total 2 # {oops} nope`)
+	if err != nil || ex != nil {
+		t.Errorf("malformed exemplar: ex=%+v err=%v", ex, err)
 	}
 }
 

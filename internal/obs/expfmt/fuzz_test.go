@@ -1,0 +1,40 @@
+package expfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText exercises the exposition parser on arbitrary input
+// (ROADMAP item 5). The parser must never panic or hang: malformed
+// input yields an error, and anything it accepts must survive a
+// write→reparse cycle without crashing.
+func FuzzParseText(f *testing.F) {
+	f.Add("# TYPE a counter\na 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"0.5\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.7\nh_count 2\n")
+	f.Add("m{instance=\"siteA\"} 42\n")
+	f.Add("m{a=\"x\",b=\"y\"} 3 1712000000\n")
+	f.Add("h_bucket{le=\"1\"} 4 # {trace_id=\"abcd\"} 0.3 1712000000.250\n")
+	f.Add("foo_total 5 # {trace_id=\"abcd\"} 0.3\n")
+	f.Add("weird{le=\"nan\"} NaN\n")
+	f.Add("# HELP x\n# TYPE x histogram\nx_bucket{le=\"+Inf\"} 9e99\nx_count 9e99\n")
+	f.Add("a{b=\"c\\\"d\\n\"} 1\n")
+	f.Add("{} 1\n")
+	f.Add("a{b=\"unterminated\n")
+	f.Add("a 1 # {trace_id=\"t\"} inf -1e300\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		snap, err := ParseTextSnapshot(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		// Accepted input must re-serialize and reparse cleanly.
+		var b strings.Builder
+		if werr := WriteSnapshot(&b, snap); werr != nil {
+			t.Fatalf("WriteSnapshot on accepted input: %v", werr)
+		}
+		if _, rerr := ParseText(strings.NewReader(b.String())); rerr != nil {
+			t.Fatalf("reparse of own output failed: %v\ninput: %q\noutput: %q", rerr, text, b.String())
+		}
+	})
+}

@@ -1,0 +1,632 @@
+// Package fleet is the federation layer over per-process telemetry: one
+// service ingests metric snapshots from N gridftp/transfer processes
+// (expfmt pushes to POST /v1/metrics, or periodic scrapes of configured
+// /metrics URLs), keeps an instance registry keyed by instance name with
+// identity anchored in process.start_time_seconds, and merges the
+// per-instance series into fleet aggregates: counters summed across
+// restart epochs, gauges summed over live instances, histograms merged
+// bucket-wise so fleet p50/p90/p99 come from real pooled buckets. The
+// aggregates feed a fleet-level tsdb recorder and alert engine
+// (tsdb.DefaultFleetRules), and alert transitions trigger diagnostic
+// bundle capture (bundle.go). This is the pane the paper's managed-fleet
+// pitch implies and ROADMAP item 4's chaos harness asserts against.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/collector"
+	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/tsdb"
+)
+
+// maxInstances bounds the registry: a misbehaving pusher inventing
+// instance names must not grow memory without limit.
+const maxInstances = 1024
+
+// Options configures a fleet Service. Zero fields take defaults.
+type Options struct {
+	// StaleAfter is how long an instance may go without a push/scrape
+	// before it is marked stale (default 10s).
+	StaleAfter time.Duration
+	// Step is the Tick cadence of the background loop (default 1s).
+	Step time.Duration
+	// ScrapeInterval is how often configured scrape targets are pulled
+	// (default 5s).
+	ScrapeInterval time.Duration
+	// GoodputCounters are the counter names whose summed rate is the
+	// fleet's goodput (default gridftp.server.bytes_in/bytes_out).
+	GoodputCounters []string
+	// ActiveGauges are the gauge names whose fleet sum gates the goodput
+	// floor: the deficit series is zero while the fleet is idle (default
+	// transfer.active, gridftp.server.active_transfers).
+	ActiveGauges []string
+	// GoodputFloor is the goodput SLO in bytes/sec; the
+	// fleet.goodput.deficit series carries max(0, floor−goodput) while
+	// the fleet is active. Zero disables the floor.
+	GoodputFloor float64
+	// Rules are the alert rules for the fleet engine (default
+	// tsdb.DefaultFleetRules).
+	Rules []tsdb.Rule
+	// Recorder sizes the fleet recorder's tiers.
+	Recorder tsdb.Options
+	// Bundle configures diagnostic bundle capture; a zero Dir disables it.
+	Bundle BundleOptions
+	// Collector, when set, contributes the whole fleet's stitched spans
+	// to diagnostic bundles (instead of only the head process's tracer).
+	Collector *collector.Collector
+	// Obs is the federation head's own observability bundle; alerts and
+	// events report into it. Nil degrades to no-ops.
+	Obs *obs.Obs
+	// Now overrides the clock for deterministic tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 10 * time.Second
+	}
+	if o.Step <= 0 {
+		o.Step = time.Second
+	}
+	if o.ScrapeInterval <= 0 {
+		o.ScrapeInterval = 5 * time.Second
+	}
+	if len(o.GoodputCounters) == 0 {
+		o.GoodputCounters = []string{"gridftp.server.bytes_in", "gridftp.server.bytes_out"}
+	}
+	if len(o.ActiveGauges) == 0 {
+		o.ActiveGauges = []string{"transfer.active", "gridftp.server.active_transfers"}
+	}
+	// Ingested names are canonicalized to their wire form (dots become
+	// underscores on the Prometheus exposition); the lookups must live in
+	// the same namespace.
+	o.GoodputCounters = canonicalNames(o.GoodputCounters)
+	o.ActiveGauges = canonicalNames(o.ActiveGauges)
+	if o.Rules == nil {
+		o.Rules = tsdb.DefaultFleetRules()
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// instanceState is one registered instance. Counters and histograms
+// accumulate across process restarts: when a push arrives with a new
+// process.start_time_seconds (or a counter that went backwards), the
+// previous epoch's raw values fold into the bases, so fleet sums keep
+// monotone counters and the tsdb rate derivation never sees a reset.
+type instanceState struct {
+	name      string
+	addr      string
+	firstSeen time.Time
+	lastSeen  time.Time
+	startTime int64 // process.start_time_seconds of the current epoch
+	restarts  int
+	pushes    int64
+	stale     bool
+
+	gauges      map[string]int64
+	counterBase map[string]int64 // folded prior epochs
+	counterRaw  map[string]int64 // current epoch, as reported
+	histBase    map[string]obs.HistogramSnapshot
+	histRaw     map[string]obs.HistogramSnapshot
+
+	goodputPrev float64 // effective goodput-counter sum at the last Tick
+	goodputRate float64 // bytes/sec over the last Tick interval
+}
+
+// startTimeGauge is the canonical (wire-form) name of the process
+// identity gauge anchoring restart detection.
+const startTimeGauge = "process_start_time_seconds"
+
+// identityGauges are per-process identity, not fleet quantities: they
+// anchor restart detection and are excluded from gauge aggregation
+// (summing start times across a fleet is meaningless). Keys are
+// canonical wire-form names.
+var identityGauges = map[string]bool{
+	startTimeGauge:           true,
+	"process_uptime_seconds": true,
+}
+
+// canonicalNames maps every name through expfmt.CanonicalName into a
+// fresh slice.
+func canonicalNames(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = expfmt.CanonicalName(n)
+	}
+	return out
+}
+
+// Instance is the registry view of one instance served by
+// /fleet/instances.
+type Instance struct {
+	Name      string    `json:"name"`
+	Addr      string    `json:"addr,omitempty"`
+	Up        bool      `json:"up"`
+	Stale     bool      `json:"stale"`
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+	StartTime int64     `json:"start_time_seconds,omitempty"`
+	Restarts  int       `json:"restarts"`
+	Pushes    int64     `json:"pushes"`
+	// GoodputBps is the instance's goodput-counter rate over the last
+	// aggregation tick.
+	GoodputBps float64 `json:"goodput_bps"`
+}
+
+// Service is the federation head. Construct with New.
+type Service struct {
+	opts    Options
+	o       *obs.Obs
+	rec     *tsdb.Recorder
+	engine  *tsdb.Engine
+	bundler *Bundler
+
+	mu        sync.Mutex
+	instances map[string]*instanceState
+	scrapes   map[string]string // instance name -> /metrics URL
+	lastTick  time.Time
+	agg       expfmt.Snapshot // latest fleet aggregate (fleet.-prefixed)
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+}
+
+// New builds a fleet service. The recorder and engine are created here;
+// alert transitions log into opts.Obs and, when bundling is configured,
+// trigger diagnostic capture.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	s := &Service{
+		opts:      o,
+		o:         o.Obs,
+		rec:       tsdb.New(o.Recorder),
+		instances: make(map[string]*instanceState),
+		scrapes:   make(map[string]string),
+	}
+	s.engine = tsdb.NewEngine(s.rec, o.Obs, o.Rules)
+	if o.Bundle.Dir != "" {
+		s.bundler = newBundler(o.Bundle, s)
+		s.engine.Tap(func(tr tsdb.Transition) {
+			if tr.To == tsdb.StateFiring {
+				s.bundler.trigger(tr)
+			}
+		})
+	}
+	return s
+}
+
+// Recorder exposes the fleet-level recorder (the /fleet/timeseries
+// backend).
+func (s *Service) Recorder() *tsdb.Recorder { return s.rec }
+
+// Engine exposes the fleet alert engine (the /fleet/alerts backend).
+func (s *Service) Engine() *tsdb.Engine { return s.engine }
+
+// Bundler exposes the diagnostic bundler, nil when bundling is disabled.
+func (s *Service) Bundler() *Bundler { return s.bundler }
+
+// AddScrapeTarget registers a /metrics URL to pull on every scrape
+// interval under the given instance name.
+func (s *Service) AddScrapeTarget(instance, url string) {
+	if instance == "" || url == "" {
+		return
+	}
+	s.mu.Lock()
+	s.scrapes[instance] = url
+	s.mu.Unlock()
+}
+
+// Ingest folds one telemetry snapshot from the named instance into the
+// registry. addr is advisory (the push's remote address or scrape URL).
+// It is the shared core of the push handler and the scraper.
+func (s *Service) Ingest(instance, addr string, snap expfmt.Snapshot, now time.Time) error {
+	if instance == "" {
+		return fmt.Errorf("fleet: ingest without instance name")
+	}
+	// Canonicalize into the wire-form namespace so in-process snapshots
+	// (dotted names) and parsed pushes (underscored) land on the same
+	// series. Copied, not mutated: the caller keeps its snapshot.
+	metrics := make([]obs.Metric, len(snap.Metrics))
+	for i, m := range snap.Metrics {
+		m.Name = expfmt.CanonicalName(m.Name)
+		metrics[i] = m
+	}
+	hists := make([]obs.HistogramSnapshot, len(snap.Histograms))
+	for i, h := range snap.Histograms {
+		h.Name = expfmt.CanonicalName(h.Name)
+		hists[i] = h
+	}
+
+	var startTime int64
+	for _, m := range metrics {
+		if m.Name == startTimeGauge {
+			startTime = m.Value
+			break
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[instance]
+	if !ok {
+		if len(s.instances) >= maxInstances {
+			return fmt.Errorf("fleet: instance registry full (%d), rejecting %q", maxInstances, instance)
+		}
+		inst = &instanceState{
+			name: instance, firstSeen: now,
+			gauges:      make(map[string]int64),
+			counterBase: make(map[string]int64),
+			counterRaw:  make(map[string]int64),
+			histBase:    make(map[string]obs.HistogramSnapshot),
+			histRaw:     make(map[string]obs.HistogramSnapshot),
+		}
+		s.instances[instance] = inst
+		s.o.EventLog().Append("fleet.instance.joined", "instance", instance, "addr", addr)
+	}
+	if addr != "" {
+		inst.addr = addr
+	}
+
+	// Restart detection: a changed start time is authoritative; a counter
+	// running backwards catches exporters without process identity.
+	restarted := startTime != 0 && inst.startTime != 0 && startTime != inst.startTime
+	if !restarted {
+		for _, m := range metrics {
+			if m.Kind == "counter" && m.Value < inst.counterRaw[m.Name] {
+				restarted = true
+				break
+			}
+		}
+	}
+	if restarted {
+		for name, v := range inst.counterRaw {
+			inst.counterBase[name] += v
+		}
+		for name, h := range inst.histRaw {
+			inst.histBase[name] = MergeHistograms(name, inst.histBase[name], h)
+		}
+		inst.counterRaw = make(map[string]int64)
+		inst.histRaw = make(map[string]obs.HistogramSnapshot)
+		inst.restarts++
+		s.o.EventLog().Append("fleet.instance.restarted", "instance", instance,
+			"restarts", fmt.Sprintf("%d", inst.restarts))
+	}
+	if startTime != 0 {
+		inst.startTime = startTime
+	}
+
+	for _, m := range metrics {
+		switch m.Kind {
+		case "counter":
+			inst.counterRaw[m.Name] = m.Value
+		case "gauge":
+			inst.gauges[m.Name] = m.Value
+		}
+	}
+	for _, h := range hists {
+		inst.histRaw[h.Name] = h
+	}
+	inst.lastSeen = now
+	inst.stale = false
+	inst.pushes++
+	return nil
+}
+
+// effectiveCounter is the instance's restart-proof counter value.
+func (i *instanceState) effectiveCounter(name string) int64 {
+	return i.counterBase[name] + i.counterRaw[name]
+}
+
+// effectiveHist is the instance's restart-proof histogram: prior epochs
+// folded into the base, merged with the current epoch's raw snapshot.
+func (i *instanceState) effectiveHist(name string) obs.HistogramSnapshot {
+	base, hasBase := i.histBase[name]
+	raw, hasRaw := i.histRaw[name]
+	switch {
+	case hasBase && hasRaw:
+		return MergeHistograms(name, base, raw)
+	case hasBase:
+		return base
+	default:
+		return raw
+	}
+}
+
+// Instances returns the registry sorted by name, evaluated at the last
+// Tick's staleness horizon.
+func (s *Service) Instances() []Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		out = append(out, Instance{
+			Name: inst.name, Addr: inst.addr,
+			Up: !inst.stale, Stale: inst.stale,
+			FirstSeen: inst.firstSeen, LastSeen: inst.lastSeen,
+			StartTime: inst.startTime, Restarts: inst.restarts,
+			Pushes: inst.pushes, GoodputBps: inst.goodputRate,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Aggregate returns the latest fleet aggregate snapshot (fleet.-prefixed
+// names), as computed by the last Tick.
+func (s *Service) Aggregate() expfmt.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg
+}
+
+// PerInstance renders every instance's current effective state as one
+// snapshot with instance-labeled series — the ?instances=1 view of
+// /fleet/metrics.
+func (s *Service) PerInstance() expfmt.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var snap expfmt.Snapshot
+	for _, name := range s.sortedInstanceNames() {
+		inst := s.instances[name]
+		label := "instance=" + name
+		for gname, v := range inst.gauges {
+			snap.Metrics = append(snap.Metrics, obs.Metric{
+				Name: obs.Name(gname, label), Kind: "gauge", Value: v,
+			})
+		}
+		counters := make(map[string]bool, len(inst.counterBase)+len(inst.counterRaw))
+		for n := range inst.counterBase {
+			counters[n] = true
+		}
+		for n := range inst.counterRaw {
+			counters[n] = true
+		}
+		for cname := range counters {
+			snap.Metrics = append(snap.Metrics, obs.Metric{
+				Name: obs.Name(cname, label), Kind: "counter", Value: inst.effectiveCounter(cname),
+			})
+		}
+		for hname := range histNames(inst) {
+			h := inst.effectiveHist(hname)
+			h.Name = obs.Name(hname, label)
+			snap.Histograms = append(snap.Histograms, h)
+		}
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}
+
+func (s *Service) sortedInstanceNames() []string {
+	names := make([]string, 0, len(s.instances))
+	for n := range s.instances {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func histNames(inst *instanceState) map[string]bool {
+	out := make(map[string]bool, len(inst.histBase)+len(inst.histRaw))
+	for n := range inst.histBase {
+		out[n] = true
+	}
+	for n := range inst.histRaw {
+		out[n] = true
+	}
+	return out
+}
+
+// ExemplarTraceIDs collects the distinct exemplar trace ids present in
+// the latest fleet aggregate, newest first — the links a firing alert
+// (and its diagnostic bundle) hands to the span collector.
+func (s *Service) ExemplarTraceIDs() []string {
+	s.mu.Lock()
+	agg := s.agg
+	s.mu.Unlock()
+	type ex struct {
+		id string
+		t  time.Time
+	}
+	var all []ex
+	seen := make(map[string]bool)
+	for _, h := range agg.Histograms {
+		for _, e := range h.Exemplars {
+			if e.TraceID != "" && !seen[e.TraceID] {
+				seen[e.TraceID] = true
+				all = append(all, ex{e.TraceID, e.Time})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t.After(all[j].t) })
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// Tick runs one deterministic aggregation pass at now: staleness
+// evaluation, fleet merge, recorder sampling of the merged aggregate,
+// derived goodput/outlier series, then an alert evaluation. The
+// background loop calls it every Step; tests call it directly with a
+// synthetic clock.
+func (s *Service) Tick(now time.Time) {
+	s.mu.Lock()
+	interval := now.Sub(s.lastTick)
+	firstTick := s.lastTick.IsZero()
+	s.lastTick = now
+
+	// Staleness: quiet past the horizon. Stale counters stay in the fleet
+	// sums (frozen, so they contribute zero rate); stale gauges drop out —
+	// an instance that is gone holds no sessions.
+	up, stale, restarts := 0, 0, 0
+	for _, inst := range s.instances {
+		inst.stale = now.Sub(inst.lastSeen) > s.opts.StaleAfter
+		if inst.stale {
+			stale++
+		} else {
+			up++
+		}
+		restarts += inst.restarts
+	}
+
+	// Merge: counters summed over every instance, gauges summed over live
+	// ones (identity gauges excluded), histograms merged bucket-wise.
+	counterSum := make(map[string]int64)
+	gaugeSum := make(map[string]int64)
+	histGroups := make(map[string][]obs.HistogramSnapshot)
+	for _, inst := range s.instances {
+		for name := range inst.counterBase {
+			counterSum[name] += inst.counterBase[name]
+		}
+		for name, v := range inst.counterRaw {
+			counterSum[name] += v
+		}
+		for name := range histNames(inst) {
+			histGroups[name] = append(histGroups[name], inst.effectiveHist(name))
+		}
+		if !inst.stale {
+			for name, v := range inst.gauges {
+				if !identityGauges[name] {
+					gaugeSum[name] += v
+				}
+			}
+		}
+	}
+
+	var agg expfmt.Snapshot
+	for name, v := range counterSum {
+		agg.Metrics = append(agg.Metrics, obs.Metric{Name: "fleet." + name, Kind: "counter", Value: v})
+	}
+	for name, v := range gaugeSum {
+		agg.Metrics = append(agg.Metrics, obs.Metric{Name: "fleet." + name, Kind: "gauge", Value: v})
+	}
+	for name, group := range histGroups {
+		agg.Histograms = append(agg.Histograms, MergeHistograms("fleet."+name, group...))
+	}
+	sort.Slice(agg.Metrics, func(i, j int) bool { return agg.Metrics[i].Name < agg.Metrics[j].Name })
+	sort.Slice(agg.Histograms, func(i, j int) bool { return agg.Histograms[i].Name < agg.Histograms[j].Name })
+	s.agg = agg
+
+	// Per-instance goodput rates (for the outlier series and /fleet/instances).
+	var rates []float64
+	var fleetGoodput float64
+	for _, inst := range s.instances {
+		var cur float64
+		for _, c := range s.opts.GoodputCounters {
+			cur += float64(inst.effectiveCounter(c))
+		}
+		if !firstTick && interval > 0 {
+			inst.goodputRate = (cur - inst.goodputPrev) / interval.Seconds()
+			if inst.goodputRate < 0 {
+				inst.goodputRate = 0
+			}
+		}
+		inst.goodputPrev = cur
+		if !inst.stale {
+			rates = append(rates, inst.goodputRate)
+		}
+		fleetGoodput += inst.goodputRate
+	}
+	var active int64
+	for _, g := range s.opts.ActiveGauges {
+		active += gaugeSum[g]
+	}
+	s.mu.Unlock()
+
+	// Recorder + derived series + alerts run outside the registry lock:
+	// engine taps (bundle capture) may call back into Service getters.
+	s.rec.SampleSnapshot(agg.Metrics, agg.Histograms, now)
+	s.rec.Observe("fleet.instances.total", now, float64(up+stale))
+	s.rec.Observe("fleet.instances.up", now, float64(up))
+	s.rec.Observe("fleet.instances.stale", now, float64(stale))
+	s.rec.Observe("fleet.instances.restarts", now, float64(restarts))
+	s.rec.Observe("fleet.goodput.bytes_per_sec", now, fleetGoodput)
+	deficit := 0.0
+	if s.opts.GoodputFloor > 0 && active > 0 && fleetGoodput < s.opts.GoodputFloor {
+		deficit = s.opts.GoodputFloor - fleetGoodput
+	}
+	s.rec.Observe("fleet.goodput.deficit", now, deficit)
+	s.rec.Observe("fleet.goodput.outlier_ratio", now, outlierRatio(rates))
+	s.engine.Eval(now)
+}
+
+// outlierRatio measures how far the worst live instance's goodput falls
+// below the fleet median: 1 − min/median, clamped to [0, 1]. Zero for
+// fleets too small for a median to mean anything (<3 live instances) or
+// with an idle median.
+func outlierRatio(rates []float64) float64 {
+	if len(rates) < 3 {
+		return 0
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+	if median <= 0 {
+		return 0
+	}
+	r := 1 - sorted[0]/median
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// Start launches the background loop: Tick every Step, scrape targets
+// every ScrapeInterval. The returned stop halts the loop and waits; it
+// is idempotent. Start may be called at most once per Service.
+func (s *Service) Start() (stop func()) {
+	s.stopCh = make(chan struct{})
+	s.doneCh = make(chan struct{})
+	go func() {
+		defer close(s.doneCh)
+		tick := time.NewTicker(s.opts.Step)
+		defer tick.Stop()
+		lastScrape := time.Time{}
+		for {
+			select {
+			case <-tick.C:
+				now := s.opts.Now()
+				if now.Sub(lastScrape) >= s.opts.ScrapeInterval {
+					lastScrape = now
+					s.scrapeAll(now)
+				}
+				s.Tick(now)
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+	return func() {
+		s.stopOnce.Do(func() { close(s.stopCh) })
+		<-s.doneCh
+	}
+}
+
+// String renders a one-line summary for logs.
+func (s *Service) String() string {
+	insts := s.Instances()
+	up := 0
+	for _, i := range insts {
+		if i.Up {
+			up++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet: %d instances (%d up)", len(insts), up)
+	return b.String()
+}

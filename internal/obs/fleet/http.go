@@ -1,0 +1,149 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"path"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/obs/expfmt"
+)
+
+// Handler returns the federation head's HTTP plane, mounted by the admin
+// server under its own mux:
+//
+//	POST /v1/metrics            ingest one expfmt push (X-Fleet-Instance
+//	                            header or ?instance= names the sender)
+//	GET  /fleet/instances       the instance registry (JSON)
+//	GET  /fleet/metrics         merged fleet aggregate as expfmt text with
+//	                            exemplars; ?format=json for the snapshot
+//	                            shape, ?instances=1 for per-instance
+//	                            labeled series
+//	GET  /fleet/timeseries      fleet recorder dump (?series=, ?since=,
+//	                            ?step= as /debug/timeseries)
+//	GET  /fleet/alerts          fleet alert engine state
+//	GET  /fleet/bundles         diagnostic bundle manifests; append
+//	                            /<bundle>/<file> for one artifact
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/metrics", s.handlePush)
+	mux.HandleFunc("/fleet/instances", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Instances())
+	})
+	mux.HandleFunc("/fleet/metrics", s.handleMetrics)
+	mux.HandleFunc("/fleet/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/fleet/alerts", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"alerts": s.engine.Alerts(),
+			"active": s.engine.Active(),
+		})
+	})
+	mux.HandleFunc("/fleet/bundles", s.handleBundles)
+	mux.HandleFunc("/fleet/bundles/", s.handleBundles)
+	return mux
+}
+
+func (s *Service) handlePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	instance := r.Header.Get("X-Fleet-Instance")
+	if instance == "" {
+		instance = r.URL.Query().Get("instance")
+	}
+	if instance == "" {
+		http.Error(w, "missing instance (X-Fleet-Instance header or ?instance=)", http.StatusBadRequest)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	snap, err := expfmt.ParseTextSnapshot(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.Ingest(instance, r.RemoteAddr, snap, s.opts.Now()); err != nil {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Aggregate()
+	if r.URL.Query().Get("instances") == "1" {
+		snap = s.PerInstance()
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, snap)
+		return
+	}
+	w.Header().Set("Content-Type", expfmt.TextContentType)
+	expfmt.WriteSnapshot(w, snap)
+}
+
+func (s *Service) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var prefixes []string
+	if sel := q.Get("series"); sel != "" {
+		prefixes = strings.Split(sel, ",")
+	}
+	var since time.Time
+	if raw := q.Get("since"); raw != "" {
+		if d, err := time.ParseDuration(raw); err == nil && d > 0 {
+			since = s.opts.Now().Add(-d)
+		} else if t, err := time.Parse(time.RFC3339, raw); err == nil {
+			since = t
+		} else {
+			http.Error(w, "bad since (duration or RFC3339)", http.StatusBadRequest)
+			return
+		}
+	}
+	var step time.Duration
+	if raw := q.Get("step"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d <= 0 {
+			http.Error(w, "bad step duration", http.StatusBadRequest)
+			return
+		}
+		step = d
+	}
+	writeJSON(w, map[string]any{
+		"series": s.rec.DumpSeries(prefixes, since, step),
+	})
+}
+
+func (s *Service) handleBundles(w http.ResponseWriter, r *http.Request) {
+	if s.bundler == nil {
+		http.Error(w, "bundle capture disabled", http.StatusNotFound)
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/fleet/bundles")
+	rest = strings.Trim(rest, "/")
+	if rest == "" {
+		writeJSON(w, map[string]any{
+			"bundles": s.bundler.Bundles(),
+			"skipped": s.bundler.Skipped(),
+		})
+		return
+	}
+	// /fleet/bundles/<bundle>/<file>: serve one artifact. path.Clean plus
+	// the two-segment shape keeps traversal out of the bundle root.
+	clean := path.Clean(rest)
+	parts := strings.Split(clean, "/")
+	if len(parts) != 2 || strings.HasPrefix(parts[0], ".") || strings.HasPrefix(parts[1], ".") ||
+		!strings.HasPrefix(parts[0], "bundle-") {
+		http.Error(w, "want /fleet/bundles/<bundle>/<file>", http.StatusBadRequest)
+		return
+	}
+	http.ServeFile(w, r, filepath.Join(s.bundler.opts.Dir, parts[0], parts[1]))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// This file is the histogram algebra of the federation layer: fleet
+// quantiles must come from bucket-wise merged histograms, not from
+// averaging per-instance quantile estimates (the mean of p99s is not the
+// fleet p99). Instances may disagree on bucket boundaries (different
+// builds, different configured buckets), so merging re-bins every input
+// onto the union of all finite bounds; because the union contains each
+// input's own bounds, re-binning moves no observation across a boundary
+// it was counted under and the merge is exact — the merged histogram is
+// identical to one that had observed the pooled stream directly (up to
+// each input's own bucket resolution).
+
+// MergeHistograms merges cumulative histogram snapshots bucket-wise into
+// one snapshot named name. Union bounds, summed counts, summed sums, and
+// recomputed p50/p90/p99. Bucket exemplars keep the most recent (by
+// exemplar timestamp) traced observation among the inputs mapping to
+// each union bucket. Empty inputs (no bounds) contribute nothing; if all
+// inputs are empty the result has a lone +Inf bucket and zero counts.
+// Non-monotone cumulative counts in an input (a torn or corrupt export)
+// are re-monotonized, never trusted to go negative.
+func MergeHistograms(name string, snaps ...obs.HistogramSnapshot) obs.HistogramSnapshot {
+	// Union of finite bounds.
+	boundSet := make(map[float64]bool)
+	for _, s := range snaps {
+		for _, b := range s.Bounds {
+			if !math.IsInf(b, 1) && !math.IsNaN(b) {
+				boundSet[b] = true
+			}
+		}
+	}
+	finite := make([]float64, 0, len(boundSet))
+	for b := range boundSet {
+		finite = append(finite, b)
+	}
+	sort.Float64s(finite)
+	bounds := append(append([]float64(nil), finite...), math.Inf(1))
+
+	deltas := make([]int64, len(bounds))
+	exemplars := make([]obs.Exemplar, len(bounds))
+	var sum float64
+	for _, s := range snaps {
+		if len(s.Bounds) == 0 {
+			continue
+		}
+		sum += s.Sum
+		var prev int64
+		for i, b := range s.Bounds {
+			if i >= len(s.Counts) {
+				break
+			}
+			c := s.Counts[i]
+			if c < prev {
+				c = prev // re-monotonize a torn export
+			}
+			d := c - prev
+			prev = c
+			// Map this input bucket's upper bound onto the union index.
+			// SearchFloat64s finds b exactly for finite bounds (the union
+			// contains them); +Inf (and any bound above every finite one)
+			// lands in the final +Inf bucket.
+			j := len(bounds) - 1
+			if !math.IsInf(b, 1) {
+				j = sort.SearchFloat64s(finite, b)
+				if j >= len(finite) || finite[j] != b {
+					j = len(bounds) - 1 // NaN or unseen bound: overflow bucket
+				}
+			}
+			deltas[j] += d
+			if i < len(s.Exemplars) {
+				e := s.Exemplars[i]
+				if e.TraceID != "" && (exemplars[j].TraceID == "" || e.Time.After(exemplars[j].Time)) {
+					exemplars[j] = e
+				}
+			}
+		}
+	}
+
+	counts := make([]int64, len(bounds))
+	var run int64
+	for i, d := range deltas {
+		run += d
+		counts[i] = run
+	}
+	out := obs.HistogramSnapshot{
+		Name: name, Bounds: bounds, Counts: counts,
+		Count: run, Sum: sum, Exemplars: exemplars,
+	}
+	if run > 0 {
+		out.P50 = obs.QuantileFromBuckets(bounds, counts, 0.50)
+		out.P90 = obs.QuantileFromBuckets(bounds, counts, 0.90)
+		out.P99 = obs.QuantileFromBuckets(bounds, counts, 0.99)
+	}
+	return out
+}

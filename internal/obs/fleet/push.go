@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/expfmt"
+)
+
+// This file is the exporter side of federation: daemons push their own
+// registry to a fleet head (Push/StartPusher), and the head pulls
+// configured /metrics URLs (scrapeAll) — both land in Ingest, so a fleet
+// can mix push-only processes behind NAT with scrapable long-lived ones.
+
+var pushClient = &http.Client{Timeout: 10 * time.Second}
+
+// Push exports reg once to a fleet head's POST /v1/metrics under the
+// given instance name.
+func Push(url, instance string, reg *obs.Registry) error {
+	var body bytes.Buffer
+	if err := expfmt.WriteText(&body, reg); err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, &body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", expfmt.TextContentType)
+	req.Header.Set("X-Fleet-Instance", instance)
+	resp, err := pushClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: push to %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: push to %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
+// StartPusher pushes o's registry to url every interval until the
+// returned stop function is called. Push failures are logged at debug
+// (the head may simply not be up yet) and retried on the next tick; a
+// final push runs on stop so short-lived processes still report their
+// last state.
+func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := Push(url, instance, o.Registry()); err != nil {
+					o.Logger().Debug("fleet: push failed", "url", url, "err", err.Error())
+				}
+			case <-stopCh:
+				Push(url, instance, o.Registry())
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(stopCh) })
+		<-doneCh
+	}
+}
+
+// scrapeAll pulls every configured scrape target once, concurrently, and
+// ingests what parses. A failed or unparsable scrape leaves the target's
+// lastSeen untouched, which is exactly what drives it stale.
+func (s *Service) scrapeAll(now time.Time) {
+	s.mu.Lock()
+	targets := make(map[string]string, len(s.scrapes))
+	for name, url := range s.scrapes {
+		targets[name] = url
+	}
+	s.mu.Unlock()
+	if len(targets) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for name, url := range targets {
+		wg.Add(1)
+		go func(name, url string) {
+			defer wg.Done()
+			resp, err := pushClient.Get(url)
+			if err != nil {
+				s.o.Logger().Debug("fleet: scrape failed", "instance", name, "err", err.Error())
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode >= 300 {
+				s.o.Logger().Debug("fleet: scrape failed", "instance", name, "status", resp.Status)
+				return
+			}
+			snap, err := expfmt.ParseTextSnapshot(io.LimitReader(resp.Body, 16<<20))
+			if err != nil {
+				s.o.Logger().Debug("fleet: scrape unparsable", "instance", name, "err", err.Error())
+				return
+			}
+			s.Ingest(name, url, snap, now)
+		}(name, url)
+	}
+	wg.Wait()
+}

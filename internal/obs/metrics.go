@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry is a concurrency-safe collection of named metrics. Metric
@@ -118,6 +119,19 @@ type Histogram struct {
 	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
 	count   atomic.Int64
 	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+	// exemplars holds the most recent traced observation per bucket
+	// (parallel to buckets); nil pointers mean no exemplar yet.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recent histogram observation to the distributed
+// trace it was recorded under, so an aggregate view (a fleet p99, a
+// firing alert) can point at a concrete representative trace. A zero
+// TraceID means "no exemplar".
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
 }
 
 // DefaultDurationBuckets suits millisecond-scale simulated operations
@@ -130,17 +144,33 @@ var DefaultSizeBuckets = []float64{1 << 10, 32 << 10, 1 << 20, 8 << 20, 64 << 20
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, buckets: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		buckets:   make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.ObserveExemplar(v, "")
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// remembers it as the bucket's exemplar — the trace id of a recent
+// observation that landed in that bucket. Hot paths that already hold a
+// span call this instead of Observe so fleet aggregates and alerts can
+// link to a representative trace.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
 	for {
 		old := h.sum.Load()
 		nw := math.Float64bits(math.Float64frombits(old) + v)
@@ -148,6 +178,22 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplars returns the per-bucket exemplars, parallel to Buckets
+// (including the +Inf bucket). Buckets that never saw a traced
+// observation yield the zero Exemplar.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = *e
+		}
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -254,6 +300,10 @@ type HistogramSnapshot struct {
 	P50    float64
 	P90    float64
 	P99    float64
+	// Exemplars is parallel to Bounds; a zero TraceID means the bucket
+	// has no exemplar. Nil when the snapshot came from a source without
+	// exemplar support.
+	Exemplars []Exemplar
 }
 
 // HistogramSnapshots returns every histogram's full state, sorted by
@@ -271,7 +321,7 @@ func (r *Registry) HistogramSnapshots() []HistogramSnapshot {
 		bounds, counts := h.Buckets()
 		snap := HistogramSnapshot{
 			Name: name, Bounds: bounds, Counts: counts,
-			Count: h.Count(), Sum: h.Sum(),
+			Count: h.Count(), Sum: h.Sum(), Exemplars: h.Exemplars(),
 		}
 		if snap.Count > 0 {
 			snap.P50 = QuantileFromBuckets(bounds, counts, 0.50)

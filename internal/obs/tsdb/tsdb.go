@@ -385,13 +385,26 @@ func (r *Recorder) SampleRegistry(reg *obs.Registry, now time.Time) {
 	if r == nil || reg == nil {
 		return
 	}
+	r.SampleSnapshot(reg.Snapshot(), reg.HistogramSnapshots(), now)
+}
+
+// SampleSnapshot is SampleRegistry over already-captured snapshots
+// instead of a live registry — the seam the fleet federator uses to run
+// the same counter-rate / windowed-quantile derivation over merged fleet
+// aggregates. Callers must not interleave SampleSnapshot with
+// SampleRegistry on the same Recorder for overlapping metric names: the
+// delta baselines are shared per name.
+func (r *Recorder) SampleSnapshot(metrics []obs.Metric, hists []obs.HistogramSnapshot, now time.Time) {
+	if r == nil {
+		return
+	}
 	r.smu.Lock()
 	defer r.smu.Unlock()
 	interval := now.Sub(r.lastSample)
 	first := r.lastSample.IsZero()
 	r.lastSample = now
 
-	for _, m := range reg.Snapshot() {
+	for _, m := range metrics {
 		switch m.Kind {
 		case "gauge":
 			r.Observe(m.Name, now, float64(m.Value))
@@ -408,7 +421,7 @@ func (r *Recorder) SampleRegistry(reg *obs.Registry, now time.Time) {
 			r.Observe(m.Name+".rate", now, float64(delta)/interval.Seconds())
 		}
 	}
-	for _, h := range reg.HistogramSnapshots() {
+	for _, h := range hists {
 		prev, seen := r.lastBuckets[h.Name]
 		r.lastBuckets[h.Name] = h.Counts
 		if first || !seen || interval <= 0 {

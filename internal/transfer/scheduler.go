@@ -403,8 +403,12 @@ func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
 	// of thundering. The wait is observable per file.
 	waitStart := time.Now()
 	s.sem <- struct{}{}
+	var traceID string
+	if r.parent != nil {
+		traceID = r.parent.TraceID.String()
+	}
 	reg.Histogram("transfer.queue_wait_seconds", obs.DefaultDurationBuckets).
-		Observe(time.Since(waitStart).Seconds())
+		ObserveExemplar(time.Since(waitStart).Seconds(), traceID)
 	active := reg.Gauge("transfer.active_transfers")
 	active.Add(1)
 	reg.Gauge("transfer.active_transfers_peak").Max(active.Value())

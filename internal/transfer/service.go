@@ -396,7 +396,7 @@ func (s *Service) run(task *Task) {
 			span.SetAttr("attempts", attempt)
 			span.End()
 			reg.Counter("transfer.tasks_succeeded").Inc()
-			s.observeTask(time.Since(task.Started), true)
+			s.observeTask(time.Since(task.Started), true, span.TraceID.String())
 			log.Info("task succeeded", "attempts", attempt,
 				"bytes", task.BytesTransferred,
 				"dur", time.Since(task.Started).Round(time.Microsecond))
@@ -429,7 +429,7 @@ func (s *Service) run(task *Task) {
 	span.SetError(lastErr)
 	span.End()
 	reg.Counter("transfer.tasks_failed").Inc()
-	s.observeTask(time.Since(task.Started), false)
+	s.observeTask(time.Since(task.Started), false, span.TraceID.String())
 	log.Error("task failed", "err", lastErr)
 	ev.Append(eventlog.TaskComplete, "component", "transfer-service",
 		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error(),
@@ -437,16 +437,18 @@ func (s *Service) run(task *Task) {
 }
 
 // observeTask records the task duration on the aggregate histogram and on
-// the outcome-labeled series.
-func (s *Service) observeTask(dur time.Duration, ok bool) {
+// the outcome-labeled series, carrying the task span's trace id as the
+// bucket exemplar.
+func (s *Service) observeTask(dur time.Duration, ok bool, traceID string) {
 	reg := s.cfg.Obs.Registry()
-	reg.Histogram("transfer.task_seconds", obs.DefaultDurationBuckets).Observe(dur.Seconds())
+	reg.Histogram("transfer.task_seconds", obs.DefaultDurationBuckets).
+		ObserveExemplar(dur.Seconds(), traceID)
 	outcome := "outcome=ok"
 	if !ok {
 		outcome = "outcome=err"
 	}
 	reg.Histogram(obs.Name("transfer.task_seconds", outcome), obs.DefaultDurationBuckets).
-		Observe(dur.Seconds())
+		ObserveExemplar(dur.Seconds(), traceID)
 }
 
 // attempt reauthenticates to both endpoints with the stored short-term

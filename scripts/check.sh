@@ -26,11 +26,12 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs tree, collector, admin, gridftp, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, collector, fleet, admin, gridftp, transfer, netsim, usagestats)"
 go test -race "$@" \
 	./internal/obs/... \
 	./internal/obs/collector/ \
 	./internal/obs/tsdb/ \
+	./internal/obs/fleet/ \
 	./internal/admin/ \
 	./internal/gridftp/ \
 	./internal/transfer/ \
