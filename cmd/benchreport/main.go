@@ -22,6 +22,12 @@
 //	                                   # fleet federation dashboard: instance
 //	                                   # registry, fleet alerts, diagnostic
 //	                                   # bundles, fleet.* sparklines
+//	benchreport -profile-diff e2       # profile the E2 parallel-stream path
+//	                                   # and name its allocation owners
+//	benchreport -profile-diff a.pprof,b.pprof
+//	                                   # diff two saved pprof captures (for
+//	                                   # live processes, see the admin
+//	                                   # plane's /debug/profile/continuous)
 package main
 
 import (
@@ -48,7 +54,16 @@ func main() {
 	traceID := flag.String("trace", "", "with -trace-timeline: render only this trace id")
 	dashboard := flag.String("dashboard", "", "render a terminal telemetry dashboard from an admin-plane base URL (sparklines, alerts, top tasks) or a saved /debug/timeseries JSON file")
 	fleetDashboard := flag.String("fleet-dashboard", "", "render a fleet federation dashboard (instance registry, fleet alerts, bundles, fleet.* sparklines) from a fleet head's admin-plane base URL")
+	profileDiff := flag.String("profile-diff", "", "attribute allocation/CPU deltas: \"e2\" profiles the parallel-stream workload live, or \"base.pprof,cur.pprof\" diffs two saved captures (e.g. /debug/profile/continuous/raw downloads); live processes serve the same diff at /debug/profile/continuous/diff")
 	flag.Parse()
+
+	if *profileDiff != "" {
+		if err := runProfileDiff(*profileDiff); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fleetDashboard != "" {
 		if err := renderFleetDashboard(*fleetDashboard); err != nil {

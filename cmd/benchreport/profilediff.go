@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"gridftp.dev/instant/internal/experiments"
+	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/profile"
+)
+
+// This file is the -profile-diff mode: regression attribution from the
+// continuous-profiling plane, offline. Two shapes:
+//
+//	benchreport -profile-diff e2
+//	    run the E2 parallel-stream workload under a live profiler —
+//	    one window at p=1, one at p=16 — and diff the windowed
+//	    allocation tables: the output names the functions that own the
+//	    parallel-stream path's extra allocations (ROADMAP item 2's
+//	    ~60k allocs/op, attributed).
+//
+//	benchreport -profile-diff base.pprof,cur.pprof
+//	    diff two saved pprof captures (e.g. downloads from
+//	    /debug/profile/continuous/raw) by their first common sample
+//	    type.
+//
+// For a live process, the same diff is one HTTP call:
+// /debug/profile/continuous/diff?base=N&cur=M&kind=heap on the admin
+// plane.
+
+// profileDiffLink mirrors bench_test.go's reference WAN so the e2 mode
+// profiles the same path the benchmarks measure.
+var profileDiffLink = netsim.LinkParams{
+	Bandwidth:    40e6,
+	RTT:          20 * time.Millisecond,
+	StreamWindow: 64 * 1024,
+}
+
+func runProfileDiff(arg string) error {
+	if strings.Contains(arg, ",") {
+		parts := strings.SplitN(arg, ",", 2)
+		return diffProfileFiles(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+	}
+	if strings.EqualFold(arg, "e2") {
+		return diffE2()
+	}
+	return fmt.Errorf("-profile-diff wants \"e2\" or \"base.pprof,cur.pprof\" (got %q)", arg)
+}
+
+// diffE2 profiles the E2 parallel-stream workload: window A runs the
+// single-stream transfer loop, window B the 16-stream loop, and the
+// windowed allocation diff names what the extra streams allocate.
+func diffE2() error {
+	const fileBytes = 1 << 20
+	o := obs.Nop()
+	p := profile.New(profile.Options{
+		Interval:    time.Second, // windows are closed manually via CaptureOnce
+		CPUDuration: 50 * time.Millisecond,
+		TopN:        15,
+		Obs:         o,
+	})
+	run := func(parallelism, repeats int) error {
+		for i := 0; i < repeats; i++ {
+			if _, err := experiments.MeasureWanRate(profileDiffLink, fileBytes, parallelism, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fmt.Println("profile-diff e2: continuous-profile windows over the E2 parallel-stream workload")
+	fmt.Printf("  link: %.0f MB/s, %v RTT, %d KiB stream window; file: %d MiB\n\n",
+		profileDiffLink.Bandwidth/1e6, profileDiffLink.RTT, profileDiffLink.StreamWindow/1024, fileBytes>>20)
+
+	if _, err := p.CaptureOnce(); err != nil { // baseline for the cumulative profiles
+		return err
+	}
+	if err := run(1, 4); err != nil {
+		return err
+	}
+	if _, err := p.CaptureOnce(); err != nil {
+		return err
+	}
+	baseID, _ := p.LatestID()
+	if err := run(16, 4); err != nil {
+		return err
+	}
+	if _, err := p.CaptureOnce(); err != nil {
+		return err
+	}
+	curID, _ := p.LatestID()
+
+	diff, ok := p.DiffWindows(baseID, curID, profile.KindHeap)
+	if !ok {
+		return fmt.Errorf("profile windows evicted mid-run")
+	}
+	fmt.Printf("windowed alloc diff: window %d (4× p=16) − window %d (4× p=1), bytes\n", curID, baseID)
+	printFrames(profile.TopN(diff, 15), true)
+
+	fmt.Printf("\np=16 window's top allocation sites (flat bytes):\n")
+	printFrames(p.Top(profile.KindHeap, 15), false)
+	return nil
+}
+
+// diffProfileFiles diffs two saved pprof captures on their first shared
+// sample type (preferring alloc_space, then cpu).
+func diffProfileFiles(basePath, curPath string) error {
+	base, err := loadProfile(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadProfile(curPath)
+	if err != nil {
+		return err
+	}
+	kind := ""
+	for _, want := range []string{"alloc_space", "cpu", "delay", "inuse_space"} {
+		if base.ValueIndex(want) >= 0 && cur.ValueIndex(want) >= 0 {
+			kind = want
+			break
+		}
+	}
+	if kind == "" && len(base.SampleTypes) > 0 {
+		kind = base.SampleTypes[0].Type
+	}
+	bIdx, cIdx := base.ValueIndex(kind), cur.ValueIndex(kind)
+	if bIdx < 0 || cIdx < 0 {
+		return fmt.Errorf("no shared sample type between %s and %s", basePath, curPath)
+	}
+	diff := profile.DiffTables(profile.FrameTable(cur, cIdx), profile.FrameTable(base, bIdx), false)
+	fmt.Printf("profile diff (%s): %s − %s\n", kind, curPath, basePath)
+	printFrames(profile.TopN(diff, 20), true)
+	return nil
+}
+
+func loadProfile(path string) (*profile.Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.ParsePprof(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// printFrames renders one table. withDelta adds the delta column.
+func printFrames(frames []obs.ProfileFrame, withDelta bool) {
+	if len(frames) == 0 {
+		fmt.Println("  (no frames)")
+		return
+	}
+	if withDelta {
+		fmt.Printf("  %14s %14s %14s  %s\n", "delta", "flat", "cum", "function")
+		for _, f := range frames {
+			fmt.Printf("  %+14d %14d %14d  %s\n", f.Delta, f.Flat, f.Cum, trimFunc(f.Func))
+		}
+		return
+	}
+	fmt.Printf("  %14s %14s  %s\n", "flat", "cum", "function")
+	for _, f := range frames {
+		fmt.Printf("  %14d %14d  %s\n", f.Flat, f.Cum, trimFunc(f.Func))
+	}
+}
+
+// trimFunc drops the module prefix so tables fit a terminal.
+func trimFunc(fn string) string {
+	return strings.TrimPrefix(fn, "gridftp.dev/instant/")
+}

@@ -13,11 +13,13 @@
 //	               [-stripes N] [-selftest] [-oauth] [-verbose] [-metrics]
 //	               [-admin 127.0.0.1:9970] [-collector http://host/v1/spans]
 //	               [-fleet-push http://head/v1/metrics] [-fleet-instance name]
+//	               [-profile-interval 10s] [-profile-retain 5m]
 //
 // With -admin, an HTTP admin plane (Prometheus /metrics, /healthz,
-// /readyz, /debug/spans, /debug/events, /debug/pprof/) is served on the
-// given address and the process holds until SIGINT/SIGTERM so the
-// endpoints stay scrapeable.
+// /readyz, /debug/spans, /debug/events, /debug/pprof/, and the
+// continuous profiler's /debug/profile/continuous window history) is
+// served on the given address and the process holds until
+// SIGINT/SIGTERM so the endpoints stay scrapeable.
 //
 // With -fleet-push, the server periodically pushes its metrics snapshot
 // (exemplars included) to a fleet federation head — a transfer-service
@@ -38,6 +40,7 @@ import (
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/fleet"
+	"gridftp.dev/instant/internal/obs/profile"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -54,11 +57,27 @@ func main() {
 	fleetPush := flag.String("fleet-push", "", "push this server's metrics to a fleet head's /v1/metrics URL")
 	fleetInstance := flag.String("fleet-instance", "", "instance name for -fleet-push (default: -name)")
 	fleetPushInterval := flag.Duration("fleet-push-interval", time.Second, "push cadence for -fleet-push")
+	profileInterval := flag.Duration("profile-interval", 10*time.Second, "continuous profiler capture cadence (0 disables); runs when -admin or -fleet-push is set")
+	profileRetain := flag.Duration("profile-retain", 5*time.Minute, "how long raw continuous-profile captures are retained (summaries persist ~2h)")
 	flag.Parse()
 
 	o := obs.FromEnv()
 	if *verbose {
 		o = obs.New(os.Stderr, obs.LevelDebug)
+	}
+	// Continuous profiler: always-on capture into the bounded window ring
+	// whenever anything can read it — the admin plane's
+	// /debug/profile/continuous or a fleet head via the pusher.
+	var prof *profile.Profiler
+	if *profileInterval > 0 && (*adminAddr != "" || *fleetPush != "") {
+		prof = profile.New(profile.Options{
+			Interval: *profileInterval,
+			Recent:   int(*profileRetain / *profileInterval),
+			Obs:      o,
+		})
+		o.Profile = prof
+		prof.Start()
+		defer prof.Stop()
 	}
 	if *fleetPush != "" {
 		instance := *fleetInstance
@@ -68,7 +87,7 @@ func main() {
 		stopPush := fleet.StartPusher(*fleetPush, instance, o, *fleetPushInterval)
 		defer stopPush()
 	}
-	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o)
+	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o, prof)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
 	}
@@ -84,7 +103,7 @@ func main() {
 	}
 }
 
-func run(name, user, password string, selftest, withOAuth bool, adminAddr string, o *obs.Obs) error {
+func run(name, user, password string, selftest, withOAuth bool, adminAddr string, o *obs.Obs, prof *profile.Profiler) error {
 	nw := netsim.NewNetwork()
 
 	// The admin plane comes up before the install so /healthz answers
@@ -105,6 +124,9 @@ func run(name, user, password string, selftest, withOAuth bool, adminAddr string
 		// and the /debug/stream live feed.
 		stopTelemetry := adm.EnableTelemetry(o, nil)
 		defer stopTelemetry()
+		if prof != nil {
+			adm.SetProfiler(prof)
+		}
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
 			return err

@@ -12,6 +12,7 @@
 //	                 [-admin 127.0.0.1:9971] [-collector http://host/v1/spans]
 //	                 [-fleet] [-fleet-scrape name=url,...] [-fleet-bundle-dir dir]
 //	                 [-fleet-push http://head/v1/metrics] [-fleet-instance name]
+//	                 [-profile-interval 10s] [-profile-retain 5m]
 //
 // With -files N (N > 1), the demo transfers a directory of N files of
 // -size each, exercising the concurrent scheduler: -concurrency pins the
@@ -46,6 +47,7 @@ import (
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/fleet"
+	"gridftp.dev/instant/internal/obs/profile"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -68,6 +70,8 @@ func main() {
 	fleetPush := flag.String("fleet-push", "", "push this process's metrics to a fleet head's /v1/metrics URL")
 	fleetInstance := flag.String("fleet-instance", "transfer-service", "instance name for -fleet-push")
 	fleetPushInterval := flag.Duration("fleet-push-interval", time.Second, "push cadence for -fleet-push")
+	profileInterval := flag.Duration("profile-interval", 10*time.Second, "continuous profiler capture cadence (0 disables); runs when -admin or -fleet-push is set")
+	profileRetain := flag.Duration("profile-retain", 5*time.Minute, "how long raw continuous-profile captures are retained (summaries persist ~2h)")
 	flag.Parse()
 	o := obs.FromEnv()
 	if *verbose {
@@ -88,6 +92,8 @@ func main() {
 		fleetPush:         *fleetPush,
 		fleetInstance:     *fleetInstance,
 		fleetPushInterval: *fleetPushInterval,
+		profileInterval:   *profileInterval,
+		profileRetain:     *profileRetain,
 	}, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
@@ -135,6 +141,8 @@ type runOptions struct {
 	fleetPush         string
 	fleetInstance     string
 	fleetPushInterval time.Duration
+	profileInterval   time.Duration
+	profileRetain     time.Duration
 }
 
 func run(opts runOptions, o *obs.Obs) error {
@@ -146,6 +154,21 @@ func run(opts runOptions, o *obs.Obs) error {
 	}
 	nw := netsim.NewNetwork()
 
+	// Continuous profiler: always-on capture whenever anything can read
+	// it — the admin plane's /debug/profile/continuous or a fleet head
+	// via the pusher's /v1/profile summaries.
+	var prof *profile.Profiler
+	if opts.profileInterval > 0 && (adminAddr != "" || opts.fleetPush != "") {
+		prof = profile.New(profile.Options{
+			Interval: opts.profileInterval,
+			Recent:   int(opts.profileRetain / opts.profileInterval),
+			Obs:      o,
+		})
+		o.Profile = prof
+		prof.Start()
+		defer prof.Stop()
+	}
+
 	var adm *admin.Server
 	if adminAddr != "" {
 		adm = admin.New(o)
@@ -154,6 +177,9 @@ func run(opts runOptions, o *obs.Obs) error {
 		// semaphore.
 		stopTelemetry := adm.EnableTelemetry(o, nil)
 		defer stopTelemetry()
+		if prof != nil {
+			adm.SetProfiler(prof)
+		}
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
 			return err

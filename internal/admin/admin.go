@@ -11,7 +11,10 @@
 //	/readyz        readiness probes (same contract, separate set)
 //	/debug/spans   the live span forest as JSON
 //	/debug/events  the structured event ring as JSON (?n= limit, ?type= prefix)
-//	/debug/pprof/  the standard Go profiling endpoints
+//	/debug/pprof/  the standard on-demand Go profiling endpoints; for the
+//	               retained capture history see /debug/profile/continuous
+//	/debug/profile/continuous  the continuous profiler's window ring
+//	               (listing, /top, /diff, /raw — see profile.go)
 //
 // The admin listener is a real OS socket (net.Listen), deliberately
 // outside the simulated network substrate the daemons move data over:
@@ -37,6 +40,7 @@ import (
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/profile"
 	"gridftp.dev/instant/internal/obs/tsdb"
 )
 
@@ -66,6 +70,10 @@ type Server struct {
 	// admin plane keeps one shape whether or not this daemon federates.
 	fleet http.Handler
 
+	// profiler is the continuous profiler behind /debug/profile/continuous
+	// (profile.go); nil answers 503.
+	profiler *profile.Profiler
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -90,6 +98,11 @@ func New(o *obs.Obs) *Server {
 	s.mux.HandleFunc("/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/fleet/", s.handleFleet)
 	s.mux.HandleFunc("/v1/metrics", s.handleFleet)
+	s.mux.HandleFunc("/v1/profile", s.handleFleet)
+	s.mux.HandleFunc("/debug/profile/continuous", s.handleProfileContinuous)
+	s.mux.HandleFunc("/debug/profile/continuous/top", s.handleProfileTop)
+	s.mux.HandleFunc("/debug/profile/continuous/diff", s.handleProfileDiff)
+	s.mux.HandleFunc("/debug/profile/continuous/raw", s.handleProfileRaw)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -197,9 +210,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /alerts         SLO alert rules with live state (JSON)")
 	fmt.Fprintln(w, "  /debug/timeseries  recorded series (JSON; ?series= ?since=30s ?step=5s)")
 	fmt.Fprintln(w, "  /debug/stream   live SSE feed (metric deltas, events, alerts)")
-	fmt.Fprintln(w, "  /fleet/         fleet federation plane (instances, metrics, timeseries, bundles)")
+	fmt.Fprintln(w, "  /fleet/         fleet federation plane (instances, metrics, timeseries, bundles, profile)")
 	fmt.Fprintln(w, "  /v1/metrics     fleet metric push ingest (POST, expfmt)")
-	fmt.Fprintln(w, "  /debug/pprof/   Go profiling")
+	fmt.Fprintln(w, "  /debug/profile/continuous  continuous profiler windows (JSON; /top /diff /raw)")
+	fmt.Fprintln(w, "  /debug/pprof/   on-demand Go profiling (continuous history: /debug/profile/continuous)")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

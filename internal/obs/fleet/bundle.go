@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/tsdb"
 )
@@ -67,7 +68,12 @@ type BundleMeta struct {
 	// span collector for a representative slow trace.
 	ExemplarTraceIDs []string   `json:"exemplar_trace_ids,omitempty"`
 	Instances        []Instance `json:"instances,omitempty"`
-	Files            []string   `json:"files,omitempty"`
+	// Profile is the head's continuous-profile window at capture time —
+	// the top-regressed frames inside it are the attribution for
+	// alloc/CPU regression alerts. Absent when the head runs no
+	// continuous profiler or it hasn't completed a window yet.
+	Profile *obs.ProfileSummary `json:"profile,omitempty"`
+	Files   []string            `json:"files,omitempty"`
 }
 
 // Bundler captures and serves diagnostic bundles.
@@ -129,6 +135,9 @@ func (b *Bundler) Capture(tr tsdb.Transition, seq int) (string, error) {
 		ExemplarTraceIDs: b.svc.ExemplarTraceIDs(),
 		Instances:        b.svc.Instances(),
 	}
+	if sum, ok := b.svc.o.Profiler().ProfileSummary(); ok {
+		meta.Profile = &sum
+	}
 
 	writeJSONFile := func(file string, v any) {
 		data, err := json.MarshalIndent(v, "", "  ")
@@ -160,6 +169,15 @@ func (b *Bundler) Capture(tr tsdb.Transition, seq int) (string, error) {
 		f.Close()
 	}
 
+	if meta.Profile != nil {
+		// The window also lands as its own artifact: the fleet-wide merged
+		// rankings at capture time give an alert's profile context even
+		// when the regression originated on a pushed instance, not the head.
+		writeJSONFile("profile.json", map[string]any{
+			"window": meta.Profile,
+			"fleet":  b.svc.Profile(0),
+		})
+	}
 	writeJSONFile("spans.json", b.captureSpans())
 	writeJSONFile("events.json", b.svc.o.EventLog().Last(200))
 	writeJSONFile("timeseries.json", b.svc.rec.DumpSeries(

@@ -175,6 +175,9 @@ type Service struct {
 	scrapes   map[string]string // instance name -> /metrics URL
 	lastTick  time.Time
 	agg       expfmt.Snapshot // latest fleet aggregate (fleet.-prefixed)
+	// profiles holds each instance's newest continuous-profile summary
+	// (profile.go); merged on demand, never ticked.
+	profiles map[string]*instanceProfile
 
 	stopOnce sync.Once
 	stopCh   chan struct{}

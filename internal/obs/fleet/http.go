@@ -26,9 +26,16 @@ import (
 //	GET  /fleet/alerts          fleet alert engine state
 //	GET  /fleet/bundles         diagnostic bundle manifests; append
 //	                            /<bundle>/<file> for one artifact
+//	POST /v1/profile            ingest one continuous-profile summary
+//	                            (JSON obs.ProfileSummary, same instance
+//	                            naming as /v1/metrics)
+//	GET  /fleet/profile         merged fleet-wide hot-function rankings
+//	                            with per-instance summaries (?n= top size)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/metrics", s.handlePush)
+	mux.HandleFunc("/v1/profile", s.handleProfilePush)
+	mux.HandleFunc("/fleet/profile", s.handleProfile)
 	mux.HandleFunc("/fleet/instances", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Instances())
 	})

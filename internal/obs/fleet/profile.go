@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// This file federates the continuous-profiling plane: instances push
+// their newest profile summary (POST /v1/profile, JSON) alongside the
+// metric push, and the head merges the per-instance top-N tables into
+// fleet-wide hot-function rankings at GET /fleet/profile — "what is the
+// fleet as a whole burning CPU and allocation on", with the per-
+// instance summaries preserved for drill-down. Merging top-N tables is
+// approximate (each instance already truncated its tail) but that tail
+// is exactly what a hot-function ranking doesn't need.
+
+// maxProfilePush bounds one profile-summary push body.
+const maxProfilePush = 4 << 20
+
+// instanceProfile is one instance's pushed summary plus receipt time
+// (staleness for profiles follows the same horizon as metric pushes).
+type instanceProfile struct {
+	summary obs.ProfileSummary
+	seen    time.Time
+}
+
+// FleetProfile is the merged view served at /fleet/profile.
+type FleetProfile struct {
+	// Instances maps instance name to its newest pushed summary.
+	Instances map[string]obs.ProfileSummary `json:"instances"`
+	// TopCPU/TopAlloc/TopRegressed are the fleet-wide rankings: frames
+	// summed across every fresh instance's table, sorted by flat value
+	// (Delta for TopRegressed).
+	TopCPU       []obs.ProfileFrame `json:"top_cpu,omitempty"`
+	TopAlloc     []obs.ProfileFrame `json:"top_alloc,omitempty"`
+	TopRegressed []obs.ProfileFrame `json:"top_regressed,omitempty"`
+}
+
+// IngestProfile stores an instance's newest profile summary. The
+// instance registry cap applies: profiles from unknown instances are
+// accepted (a profile push may land before the first metric push) but
+// the combined name space stays bounded.
+func (s *Service) IngestProfile(instance string, sum obs.ProfileSummary, now time.Time) error {
+	if instance == "" {
+		return fmt.Errorf("fleet: profile push without instance name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.profiles == nil {
+		s.profiles = make(map[string]*instanceProfile)
+	}
+	if _, ok := s.profiles[instance]; !ok {
+		if _, known := s.instances[instance]; !known && len(s.profiles) >= maxInstances {
+			return fmt.Errorf("fleet: profile registry full (%d), rejecting %q", maxInstances, instance)
+		}
+	}
+	s.profiles[instance] = &instanceProfile{summary: sum, seen: now}
+	return nil
+}
+
+// Profile merges the fresh per-instance summaries into the fleet view.
+// Summaries older than the staleness horizon drop out of the rankings
+// but stay listed per instance (marked only by their window timestamps).
+func (s *Service) Profile(topN int) FleetProfile {
+	if topN <= 0 {
+		topN = 10
+	}
+	now := s.opts.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := FleetProfile{Instances: make(map[string]obs.ProfileSummary, len(s.profiles))}
+	var cpu, alloc, regressed []obs.ProfileFrame
+	for name, ip := range s.profiles {
+		out.Instances[name] = ip.summary
+		if now.Sub(ip.seen) > s.opts.StaleAfter {
+			continue
+		}
+		cpu = append(cpu, ip.summary.TopCPU...)
+		alloc = append(alloc, ip.summary.TopAlloc...)
+		regressed = append(regressed, ip.summary.TopRegressed...)
+	}
+	out.TopCPU = mergeFrames(cpu, topN, false)
+	out.TopAlloc = mergeFrames(alloc, topN, false)
+	out.TopRegressed = mergeFrames(regressed, topN, true)
+	return out
+}
+
+// mergeFrames sums frames by function and returns the top n by flat
+// value (byDelta ranks and sums on Delta instead, for regression
+// tables).
+func mergeFrames(frames []obs.ProfileFrame, n int, byDelta bool) []obs.ProfileFrame {
+	if len(frames) == 0 {
+		return nil
+	}
+	byFunc := make(map[string]*obs.ProfileFrame)
+	for _, f := range frames {
+		agg := byFunc[f.Func]
+		if agg == nil {
+			agg = &obs.ProfileFrame{Func: f.Func}
+			byFunc[f.Func] = agg
+		}
+		agg.Flat += f.Flat
+		agg.Cum += f.Cum
+		agg.Delta += f.Delta
+	}
+	out := make([]obs.ProfileFrame, 0, len(byFunc))
+	for _, f := range byFunc {
+		out = append(out, *f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].Flat, out[j].Flat
+		if byDelta {
+			ki, kj = out[i].Delta, out[j].Delta
+		}
+		if ki != kj {
+			return ki > kj
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+func (s *Service) handleProfilePush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	instance := r.Header.Get("X-Fleet-Instance")
+	if instance == "" {
+		instance = r.URL.Query().Get("instance")
+	}
+	if instance == "" {
+		http.Error(w, "missing instance (X-Fleet-Instance header or ?instance=)", http.StatusBadRequest)
+		return
+	}
+	var sum obs.ProfileSummary
+	body := http.MaxBytesReader(w, r.Body, maxProfilePush)
+	if err := json.NewDecoder(body).Decode(&sum); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.IngestProfile(instance, sum, s.opts.Now()); err != nil {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
+	topN := 10
+	if v := r.URL.Query().Get("n"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &topN); err != nil || topN <= 0 {
+			http.Error(w, "bad n parameter", http.StatusBadRequest)
+			return
+		}
+	}
+	writeJSON(w, s.Profile(topN))
+}
+
+// PushProfile exports one profile summary to a fleet head's POST
+// /v1/profile under the given instance name.
+func PushProfile(url, instance string, sum obs.ProfileSummary) error {
+	data, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Fleet-Instance", instance)
+	resp, err := pushClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: profile push to %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: profile push to %s: %s", url, resp.Status)
+	}
+	return nil
+}

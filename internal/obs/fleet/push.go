@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -45,13 +46,25 @@ func Push(url, instance string, reg *obs.Registry) error {
 }
 
 // StartPusher pushes o's registry to url every interval until the
-// returned stop function is called. Push failures are logged at debug
-// (the head may simply not be up yet) and retried on the next tick; a
-// final push runs on stop so short-lived processes still report their
-// last state.
+// returned stop function is called. When o carries a continuous
+// profiler, its newest summary rides along to the sibling /v1/profile
+// endpoint on every tick. Push failures are logged at debug (the head
+// may simply not be up yet) and retried on the next tick; a final push
+// runs on stop so short-lived processes still report their last state.
 func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Second
+	}
+	profileURL := profilePushURL(url)
+	pushAll := func() {
+		if err := Push(url, instance, o.Registry()); err != nil {
+			o.Logger().Debug("fleet: push failed", "url", url, "err", err.Error())
+		}
+		if sum, ok := o.Profiler().ProfileSummary(); ok {
+			if err := PushProfile(profileURL, instance, sum); err != nil {
+				o.Logger().Debug("fleet: profile push failed", "url", profileURL, "err", err.Error())
+			}
+		}
 	}
 	stopCh := make(chan struct{})
 	doneCh := make(chan struct{})
@@ -62,11 +75,9 @@ func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop
 		for {
 			select {
 			case <-tick.C:
-				if err := Push(url, instance, o.Registry()); err != nil {
-					o.Logger().Debug("fleet: push failed", "url", url, "err", err.Error())
-				}
+				pushAll()
 			case <-stopCh:
-				Push(url, instance, o.Registry())
+				pushAll()
 				return
 			}
 		}
@@ -76,6 +87,16 @@ func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop
 		once.Do(func() { close(stopCh) })
 		<-doneCh
 	}
+}
+
+// profilePushURL derives the /v1/profile ingest URL from the configured
+// /v1/metrics push URL (unrecognized shapes just get /v1/profile
+// appended to the host part untouched — the head 404s harmlessly).
+func profilePushURL(metricsURL string) string {
+	if strings.HasSuffix(metricsURL, "/v1/metrics") {
+		return strings.TrimSuffix(metricsURL, "/v1/metrics") + "/v1/profile"
+	}
+	return metricsURL
 }
 
 // scrapeAll pulls every configured scrape target once, concurrently, and

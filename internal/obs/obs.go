@@ -35,6 +35,10 @@ type Obs struct {
 	// time-series flight recorder, internal/obs/tsdb). Nil discards them;
 	// use TimeSeries() at call sites.
 	Series SeriesSink
+	// Profile, when set, is the always-on continuous profiler
+	// (internal/obs/profile). Nil degrades to a no-op; use Profiler() at
+	// call sites.
+	Profile ContinuousProfiler
 }
 
 // New returns a fully wired Obs: logger writing to w at the given level,
@@ -48,6 +52,7 @@ func New(w io.Writer, level Level) *Obs {
 		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
 	registerProcessMetrics(o.Metrics)
+	registerRuntimeMetrics(o.Metrics)
 	return o
 }
 
@@ -61,6 +66,7 @@ func Nop() *Obs {
 		Events:  eventlog.New(eventlog.DefaultCapacity),
 	}
 	registerProcessMetrics(o.Metrics)
+	registerRuntimeMetrics(o.Metrics)
 	return o
 }
 

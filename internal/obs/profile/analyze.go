@@ -1,0 +1,160 @@
+package profile
+
+import (
+	"sort"
+
+	"gridftp.dev/instant/internal/obs"
+)
+
+// This file turns parsed profiles into the tables the rest of the plane
+// consumes: per-function flat/cum aggregation, top-N ranking, and
+// table-vs-table diffs. Tables are plain []obs.ProfileFrame so the admin
+// plane, fleet federation, and diagnostic bundles all speak one shape.
+
+// FrameTable aggregates one sample-type index of a profile into
+// per-function flat and cumulative totals. Flat goes to the leaf
+// function (Sample.Stack[0] — pprof stacks are leaf-first); cum goes to
+// every distinct function on the stack, deduplicated so recursion does
+// not double-count.
+func FrameTable(p *Profile, valueIdx int) []obs.ProfileFrame {
+	if p == nil || valueIdx < 0 {
+		return nil
+	}
+	type agg struct{ flat, cum int64 }
+	byFunc := make(map[string]*agg)
+	seen := make(map[string]bool) // per-sample cum dedup, reused across samples
+	for _, s := range p.Samples {
+		if valueIdx >= len(s.Values) || len(s.Stack) == 0 {
+			continue
+		}
+		v := s.Values[valueIdx]
+		if v == 0 {
+			continue
+		}
+		leaf := s.Stack[0].Func
+		a := byFunc[leaf]
+		if a == nil {
+			a = &agg{}
+			byFunc[leaf] = a
+		}
+		a.flat += v
+		clear(seen)
+		for _, fr := range s.Stack {
+			if seen[fr.Func] {
+				continue
+			}
+			seen[fr.Func] = true
+			a := byFunc[fr.Func]
+			if a == nil {
+				a = &agg{}
+				byFunc[fr.Func] = a
+			}
+			a.cum += v
+		}
+	}
+	out := make([]obs.ProfileFrame, 0, len(byFunc))
+	for fn, a := range byFunc {
+		out = append(out, obs.ProfileFrame{Func: fn, Flat: a.flat, Cum: a.cum})
+	}
+	sortFrames(out)
+	return out
+}
+
+// sortFrames orders by flat desc, then cum desc, then name for
+// determinism.
+func sortFrames(frames []obs.ProfileFrame) {
+	sort.Slice(frames, func(i, j int) bool {
+		if frames[i].Flat != frames[j].Flat {
+			return frames[i].Flat > frames[j].Flat
+		}
+		if frames[i].Cum != frames[j].Cum {
+			return frames[i].Cum > frames[j].Cum
+		}
+		return frames[i].Func < frames[j].Func
+	})
+}
+
+// TopN returns the first n frames of a sorted table (the table itself
+// when shorter), copying so callers can hold the result across ring
+// eviction.
+func TopN(frames []obs.ProfileFrame, n int) []obs.ProfileFrame {
+	if n <= 0 || len(frames) == 0 {
+		return nil
+	}
+	if n > len(frames) {
+		n = len(frames)
+	}
+	out := make([]obs.ProfileFrame, n)
+	copy(out, frames[:n])
+	return out
+}
+
+// DiffTables subtracts base from cur per function: Delta = cur.Flat -
+// base.Flat (Flat/Cum carry the current values; functions only in base
+// appear with Flat 0 and negative Delta). Sorted by Delta descending —
+// the top of the result is what regressed the most. onlyGrowth drops
+// frames whose Delta <= 0 (the shape regression attribution wants);
+// diff views keep both signs so improvements are visible too.
+func DiffTables(cur, base []obs.ProfileFrame, onlyGrowth bool) []obs.ProfileFrame {
+	baseBy := make(map[string]obs.ProfileFrame, len(base))
+	for _, f := range base {
+		baseBy[f.Func] = f
+	}
+	out := make([]obs.ProfileFrame, 0, len(cur))
+	seen := make(map[string]bool, len(cur))
+	for _, f := range cur {
+		b := baseBy[f.Func]
+		d := obs.ProfileFrame{Func: f.Func, Flat: f.Flat, Cum: f.Cum, Delta: f.Flat - b.Flat}
+		seen[f.Func] = true
+		if onlyGrowth && d.Delta <= 0 {
+			continue
+		}
+		out = append(out, d)
+	}
+	if !onlyGrowth {
+		for _, b := range base {
+			if !seen[b.Func] {
+				out = append(out, obs.ProfileFrame{Func: b.Func, Delta: -b.Flat})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta > out[j].Delta
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// WindowDelta converts two consecutive cumulative-since-process-start
+// tables (alloc_space, mutex/block delay) into a per-window table:
+// Flat/Cum are the growth between the captures, with negative growth
+// (a counter reset, or sampling jitter) clamped to zero and all-zero
+// frames dropped. The result is sorted like any other table.
+func WindowDelta(cur, prev []obs.ProfileFrame) []obs.ProfileFrame {
+	prevBy := make(map[string]obs.ProfileFrame, len(prev))
+	for _, f := range prev {
+		prevBy[f.Func] = f
+	}
+	out := make([]obs.ProfileFrame, 0, len(cur))
+	for _, f := range cur {
+		b := prevBy[f.Func]
+		w := obs.ProfileFrame{Func: f.Func, Flat: max(f.Flat-b.Flat, 0), Cum: max(f.Cum-b.Cum, 0)}
+		if w.Flat == 0 && w.Cum == 0 {
+			continue
+		}
+		out = append(out, w)
+	}
+	sortFrames(out)
+	return out
+}
+
+// SumFlat totals the flat column of a table.
+func SumFlat(frames []obs.ProfileFrame) int64 {
+	var total int64
+	for _, f := range frames {
+		total += f.Flat
+	}
+	return total
+}

@@ -1,0 +1,558 @@
+// Package profile is the continuous profiling plane: an always-on,
+// low-overhead capturer of the Go runtime's CPU, heap, mutex, block,
+// and goroutine profiles into a bounded two-tier window ring, with a
+// stdlib-only parser for the gzipped pprof protobuf wire format so
+// captures can be analyzed in-process — per-window top-N function
+// tables, window-to-window diffs, and regression ratios that feed the
+// obs.profile.* time series the SLO alert engine pages on.
+//
+// The ROADMAP's standing perf signal (E2's parallel-stream path burning
+// ~60k allocs/op) is known only from coarse benchmarks; this package
+// answers *which functions* own that cost, continuously, in the same
+// process that moves the bytes. DotDFS-class transfer systems live and
+// die by hot-path CPU/alloc behavior; attribution has to be as ambient
+// as the metrics themselves.
+//
+// The package is stdlib-only and depends on internal/obs alone.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// This file is the wire-format parser. The pprof protobuf schema
+// (github.com/google/pprof/proto/profile.proto) is small and frozen;
+// hand-rolling the subset we read keeps the module dependency-free. The
+// parser is deliberately defensive — it feeds on bytes from disk, HTTP,
+// and the fuzzer — and never panics on malformed input: every length is
+// bounded by the remaining input, every varint by its 10-byte maximum.
+
+// maxDecompressedProfile bounds how much a gzipped capture may inflate
+// to — a zip bomb must not take down the daemon parsing its own ring.
+const maxDecompressedProfile = 64 << 20
+
+// ValueType names one sample dimension ("cpu"/"nanoseconds",
+// "alloc_space"/"bytes").
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// Frame is one resolved stack frame.
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file,omitempty"`
+	Line int64  `json:"line,omitempty"`
+}
+
+// Sample is one profile sample: the resolved call stack (leaf first, as
+// on the wire) and one value per sample type.
+type Sample struct {
+	Stack  []Frame `json:"stack"`
+	Values []int64 `json:"values"`
+}
+
+// Profile is the parsed subset of a pprof capture the analysis layer
+// needs: sample types, resolved samples, and the timing/period header.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	TimeNanos     int64
+	DurationNanos int64
+	Period        int64
+	PeriodType    ValueType
+}
+
+// ValueIndex returns the index of the named sample type (-1 when the
+// profile does not carry it): "cpu" for CPU profiles, "alloc_space" /
+// "inuse_space" / "alloc_objects" for heap, "delay" for mutex/block,
+// "goroutine" for goroutine dumps.
+func (p *Profile) ValueIndex(name string) int {
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalValue sums the given sample-type index over every sample.
+func (p *Profile) TotalValue(idx int) int64 {
+	if idx < 0 {
+		return 0
+	}
+	var total int64
+	for _, s := range p.Samples {
+		if idx < len(s.Values) {
+			total += s.Values[idx]
+		}
+	}
+	return total
+}
+
+// ParsePprof parses a pprof capture: gzipped (as runtime/pprof writes)
+// or raw protobuf. Malformed input returns an error, never a panic.
+func ParsePprof(data []byte) (*Profile, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("profile: empty input")
+	}
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("profile: bad gzip header: %v", err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(zr, maxDecompressedProfile+1))
+		zr.Close()
+		if err != nil {
+			return nil, fmt.Errorf("profile: truncated gzip stream: %v", err)
+		}
+		if len(raw) > maxDecompressedProfile {
+			return nil, fmt.Errorf("profile: decompressed profile exceeds %d bytes", maxDecompressedProfile)
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// ---- minimal protobuf decoding ----
+
+// pbuf is a cursor over one protobuf message body.
+type pbuf struct {
+	data []byte
+	pos  int
+}
+
+func (b *pbuf) done() bool { return b.pos >= len(b.data) }
+
+// varint decodes one base-128 varint (10-byte maximum).
+func (b *pbuf) varint() (uint64, error) {
+	var v uint64
+	for shift := 0; shift < 64; shift += 7 {
+		if b.pos >= len(b.data) {
+			return 0, fmt.Errorf("profile: truncated varint")
+		}
+		c := b.data[b.pos]
+		b.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("profile: varint overflows 64 bits")
+}
+
+// field decodes the next field tag.
+func (b *pbuf) field() (num int, wire int, err error) {
+	tag, err := b.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	num, wire = int(tag>>3), int(tag&7)
+	if num == 0 {
+		return 0, 0, fmt.Errorf("profile: field number 0")
+	}
+	return num, wire, nil
+}
+
+// bytesField decodes a length-delimited (wire type 2) payload.
+func (b *pbuf) bytesField() ([]byte, error) {
+	n, err := b.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(b.data)-b.pos) {
+		return nil, fmt.Errorf("profile: length %d exceeds remaining %d bytes", n, len(b.data)-b.pos)
+	}
+	out := b.data[b.pos : b.pos+int(n)]
+	b.pos += int(n)
+	return out, nil
+}
+
+// skip consumes one field of the given wire type.
+func (b *pbuf) skip(wire int) error {
+	switch wire {
+	case 0:
+		_, err := b.varint()
+		return err
+	case 1:
+		if len(b.data)-b.pos < 8 {
+			return fmt.Errorf("profile: truncated fixed64")
+		}
+		b.pos += 8
+		return nil
+	case 2:
+		_, err := b.bytesField()
+		return err
+	case 5:
+		if len(b.data)-b.pos < 4 {
+			return fmt.Errorf("profile: truncated fixed32")
+		}
+		b.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("profile: unsupported wire type %d", wire)
+	}
+}
+
+// intValue reads a varint-typed field value regardless of wire type 0/1/5
+// (pprof writers only use 0, but a fuzzer will try the rest).
+func (b *pbuf) intValue(wire int) (uint64, error) {
+	switch wire {
+	case 0:
+		return b.varint()
+	case 1:
+		if len(b.data)-b.pos < 8 {
+			return 0, fmt.Errorf("profile: truncated fixed64")
+		}
+		v := binary.LittleEndian.Uint64(b.data[b.pos:])
+		b.pos += 8
+		return v, nil
+	case 5:
+		if len(b.data)-b.pos < 4 {
+			return 0, fmt.Errorf("profile: truncated fixed32")
+		}
+		v := uint64(binary.LittleEndian.Uint32(b.data[b.pos:]))
+		b.pos += 4
+		return v, nil
+	default:
+		return 0, fmt.Errorf("profile: wire type %d for integer field", wire)
+	}
+}
+
+// repeatedInts appends a packed or single varint field to dst.
+func repeatedInts(b *pbuf, wire int, dst []uint64) ([]uint64, error) {
+	if wire == 2 {
+		payload, err := b.bytesField()
+		if err != nil {
+			return nil, err
+		}
+		inner := pbuf{data: payload}
+		for !inner.done() {
+			v, err := inner.varint()
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, v)
+		}
+		return dst, nil
+	}
+	v, err := b.intValue(wire)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, v), nil
+}
+
+// ---- pprof message decoding ----
+
+type rawValueType struct{ typ, unit uint64 } // string-table indices
+
+type rawSample struct {
+	locs   []uint64
+	values []uint64
+}
+
+type rawLine struct {
+	funcID uint64
+	line   uint64
+}
+
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawFunction struct {
+	id, name, file uint64
+}
+
+func decodeValueType(data []byte) (rawValueType, error) {
+	var vt rawValueType
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			if vt.typ, err = b.intValue(wire); err != nil {
+				return vt, err
+			}
+		case 2:
+			if vt.unit, err = b.intValue(wire); err != nil {
+				return vt, err
+			}
+		default:
+			if err = b.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func decodeSample(data []byte) (rawSample, error) {
+	var s rawSample
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locs, err = repeatedInts(&b, wire, s.locs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.values, err = repeatedInts(&b, wire, s.values); err != nil {
+				return s, err
+			}
+		default:
+			if err = b.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func decodeLine(data []byte) (rawLine, error) {
+	var l rawLine
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1:
+			if l.funcID, err = b.intValue(wire); err != nil {
+				return l, err
+			}
+		case 2:
+			if l.line, err = b.intValue(wire); err != nil {
+				return l, err
+			}
+		default:
+			if err = b.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func decodeLocation(data []byte) (rawLocation, error) {
+	var loc rawLocation
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1:
+			if loc.id, err = b.intValue(wire); err != nil {
+				return loc, err
+			}
+		case 4:
+			payload, err := b.bytesField()
+			if err != nil {
+				return loc, err
+			}
+			line, err := decodeLine(payload)
+			if err != nil {
+				return loc, err
+			}
+			loc.lines = append(loc.lines, line)
+		default:
+			if err = b.skip(wire); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func decodeFunction(data []byte) (rawFunction, error) {
+	var fn rawFunction
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return fn, err
+		}
+		switch num {
+		case 1:
+			if fn.id, err = b.intValue(wire); err != nil {
+				return fn, err
+			}
+		case 2:
+			if fn.name, err = b.intValue(wire); err != nil {
+				return fn, err
+			}
+		case 4:
+			if fn.file, err = b.intValue(wire); err != nil {
+				return fn, err
+			}
+		default:
+			if err = b.skip(wire); err != nil {
+				return fn, err
+			}
+		}
+	}
+	return fn, nil
+}
+
+// parseProto decodes the top-level Profile message and resolves string
+// table, functions, and locations into Frames.
+func parseProto(data []byte) (*Profile, error) {
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		strtab      []string
+		periodType  rawValueType
+		p           Profile
+	)
+	b := pbuf{data: data}
+	for !b.done() {
+		num, wire, err := b.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1, 2, 4, 5, 6, 11: // all length-delimited submessages / strings
+			if wire != 2 {
+				if err = b.skip(wire); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			payload, err := b.bytesField()
+			if err != nil {
+				return nil, err
+			}
+			switch num {
+			case 1:
+				vt, err := decodeValueType(payload)
+				if err != nil {
+					return nil, err
+				}
+				sampleTypes = append(sampleTypes, vt)
+			case 2:
+				s, err := decodeSample(payload)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, s)
+			case 4:
+				loc, err := decodeLocation(payload)
+				if err != nil {
+					return nil, err
+				}
+				locations = append(locations, loc)
+			case 5:
+				fn, err := decodeFunction(payload)
+				if err != nil {
+					return nil, err
+				}
+				functions = append(functions, fn)
+			case 6:
+				strtab = append(strtab, string(payload))
+			case 11:
+				vt, err := decodeValueType(payload)
+				if err != nil {
+					return nil, err
+				}
+				periodType = vt
+			}
+		case 9:
+			v, err := b.intValue(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10:
+			v, err := b.intValue(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 12:
+			v, err := b.intValue(wire)
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err = b.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	str := func(i uint64) string {
+		if i < uint64(len(strtab)) {
+			return strtab[i]
+		}
+		return "" // out-of-range string index: unnamed, not an error
+	}
+	p.PeriodType = ValueType{Type: str(periodType.typ), Unit: str(periodType.unit)}
+	for _, vt := range sampleTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+
+	funcsByID := make(map[uint64]rawFunction, len(functions))
+	for _, fn := range functions {
+		funcsByID[fn.id] = fn
+	}
+	framesByLoc := make(map[uint64][]Frame, len(locations))
+	for _, loc := range locations {
+		frames := make([]Frame, 0, len(loc.lines))
+		// Location lines are innermost (inlined leaf) first on the wire.
+		for _, line := range loc.lines {
+			fr := Frame{Line: int64(line.line)}
+			if fn, ok := funcsByID[line.funcID]; ok {
+				fr.Func, fr.File = str(fn.name), str(fn.file)
+			}
+			if fr.Func == "" {
+				fr.Func = fmt.Sprintf("func#%d", line.funcID)
+			}
+			frames = append(frames, fr)
+		}
+		if len(frames) == 0 {
+			frames = append(frames, Frame{Func: fmt.Sprintf("loc#%d", loc.id)})
+		}
+		framesByLoc[loc.id] = frames
+	}
+
+	nTypes := len(p.SampleTypes)
+	for _, s := range samples {
+		rs := Sample{Values: make([]int64, 0, len(s.values))}
+		for _, v := range s.values {
+			rs.Values = append(rs.Values, int64(v))
+		}
+		// A sample claiming more values than there are sample types is
+		// malformed enough to reject: downstream indexing trusts the header.
+		if nTypes > 0 && len(rs.Values) > nTypes {
+			return nil, fmt.Errorf("profile: sample carries %d values for %d sample types", len(rs.Values), nTypes)
+		}
+		for _, locID := range s.locs {
+			if frames, ok := framesByLoc[locID]; ok {
+				rs.Stack = append(rs.Stack, frames...)
+			} else {
+				rs.Stack = append(rs.Stack, Frame{Func: fmt.Sprintf("loc#%d", locID)})
+			}
+		}
+		p.Samples = append(p.Samples, rs)
+	}
+	return &p, nil
+}

@@ -1,0 +1,71 @@
+package obs
+
+import "time"
+
+// This file is the continuous-profiling facility seam. The profiler
+// itself lives in internal/obs/profile (it needs runtime/pprof and the
+// wire-format parser); declaring the cross-package view here keeps the
+// dependency arrow pointing one way — profile imports obs, never the
+// reverse — while letting every layer that already holds an *Obs (the
+// fleet bundler enriching a diagnostic bundle, the admin plane) read the
+// profiler's latest state without importing it.
+
+// ProfileFrame is one function's contribution in a profile table: flat
+// is the value attributed to the function itself (the leaf frames),
+// cum includes everything it called. In regression tables Delta carries
+// the change versus the baseline window.
+type ProfileFrame struct {
+	Func  string `json:"func"`
+	Flat  int64  `json:"flat"`
+	Cum   int64  `json:"cum"`
+	Delta int64  `json:"delta,omitempty"`
+}
+
+// ProfileWindow identifies one continuous-profile capture window.
+type ProfileWindow struct {
+	ID    int       `json:"id"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// ProfileSummary is the cross-package view of the continuous profiler's
+// newest window: the rates and regression ratio the alert rules watch,
+// plus the top-N tables that federate to a fleet head and land in
+// diagnostic bundles. Flat/Cum units are bytes for the alloc table and
+// CPU nanoseconds for the CPU table.
+type ProfileSummary struct {
+	Window           ProfileWindow  `json:"window"`
+	AllocBytesPerSec float64        `json:"alloc_bytes_per_sec"`
+	CPUBusyFrac      float64        `json:"cpu_busy_frac"`
+	AllocRegression  float64        `json:"alloc_regression_ratio"`
+	CPURegression    float64        `json:"cpu_regression_ratio"`
+	TopCPU           []ProfileFrame `json:"top_cpu,omitempty"`
+	TopAlloc         []ProfileFrame `json:"top_alloc,omitempty"`
+	// TopRegressed are the frames whose per-window alloc bytes grew the
+	// most versus the previous window — the attribution a firing
+	// regression alert points at.
+	TopRegressed []ProfileFrame `json:"top_regressed,omitempty"`
+}
+
+// ContinuousProfiler is the facility interface the profile package
+// implements. ok is false until the profiler has completed at least one
+// full capture window.
+type ContinuousProfiler interface {
+	ProfileSummary() (ProfileSummary, bool)
+}
+
+// nopProfiler is the discard profiler a nil Obs (or one without a
+// profiler attached) hands out, keeping call sites branch-free like the
+// other facilities.
+type nopProfiler struct{}
+
+func (nopProfiler) ProfileSummary() (ProfileSummary, bool) { return ProfileSummary{}, false }
+
+// Profiler returns the bundle's continuous profiler, or a discard
+// profiler when o is nil or none has been attached.
+func (o *Obs) Profiler() ContinuousProfiler {
+	if o == nil || o.Profile == nil {
+		return nopProfiler{}
+	}
+	return o.Profile
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obs
+
+// processCPUSeconds has no portable implementation off unix; the
+// process.cpu_seconds_total counter simply stays at zero there.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,17 @@
+//go:build unix
+
+package obs
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU
+// time. Getrusage is one cheap syscall on every unix the simulator runs
+// on; platforms without it report 0 and the CPU counter stays at zero.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if syscall.Getrusage(syscall.RUSAGE_SELF, &ru) != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+}

@@ -1,9 +1,9 @@
 #!/bin/sh
 # check.sh — the pre-commit gate: gofmt, build, vet, full test suite, and
 # the race detector on the concurrency-heavy packages (the observability
-# registry/tracer/eventlog, the admin HTTP plane, the GridFTP engine with
-# its marker emitters, the hosted transfer service, and the network
-# simulator).
+# registry/tracer/eventlog, the continuous profiler, the admin HTTP
+# plane, the GridFTP engine with its marker emitters, the hosted
+# transfer service, and the network simulator).
 #
 # Usage: ./scripts/check.sh [extra go-test args]
 set -eu
@@ -26,11 +26,12 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs tree, collector, fleet, admin, gridftp, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, collector, profile, fleet, admin, gridftp, transfer, netsim, usagestats)"
 go test -race "$@" \
 	./internal/obs/... \
 	./internal/obs/collector/ \
 	./internal/obs/tsdb/ \
+	./internal/obs/profile/ \
 	./internal/obs/fleet/ \
 	./internal/admin/ \
 	./internal/gridftp/ \
