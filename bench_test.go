@@ -21,6 +21,7 @@ import (
 	"gridftp.dev/instant/internal/obs/expfmt"
 	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/obs/profile"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/obs/tsdb"
 )
 
@@ -478,4 +479,52 @@ func BenchmarkE17ProfilerOverhead(b *testing.B) {
 	}
 	perPass := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
 	b.ReportMetric(perPass/10e9*100, "pct-of-10s-interval")
+}
+
+// BenchmarkE18StreamTelemetryOverhead prices the data-path X-ray: the
+// same shaped-WAN parallel download with per-stream wire telemetry fully
+// installed (both data-path ends instrumented, poller live at the
+// daemons' default cadence) versus absent. The instrumented path adds
+// two atomic updates per Read/Write against 128 KiB-scale blocks, so the
+// budget is <=1% of achieved throughput — the deployment question is
+// whether watching the wire slows the wire. The link is shaped (40 MB/s,
+// wide windows) so pacing pins the transfer time and a genuine slowdown
+// would surface as missed pacing slots rather than scheduler jitter;
+// each side is best-of-paired-runs, which only ever discards runs the
+// OS slowed down. pct-overhead reports the measured loss (small
+// negative values are residual noise in the instrumented run's favor).
+func BenchmarkE18StreamTelemetryOverhead(b *testing.B) {
+	link := netsim.LinkParams{
+		Bandwidth:    40e6,
+		RTT:          2 * time.Millisecond,
+		StreamWindow: 1 << 22,
+	}
+	const fileBytes = 8 << 20
+	const parallelism = 4
+	const pairs = 3
+	var onBest, offBest float64
+	for i := 0; i < b.N; i++ {
+		onBest, offBest = 0, 0
+		for p := 0; p < pairs; p++ {
+			off, err := experiments.MeasureStreamTelemetryRate(link, fileBytes, parallelism, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reg := streamstats.New(streamstats.Options{Obs: obs.Nop(), Interval: 500 * time.Millisecond})
+			on, err := experiments.MeasureStreamTelemetryRate(link, fileBytes, parallelism, reg)
+			reg.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if on > onBest {
+				onBest = on
+			}
+			if off > offBest {
+				offBest = off
+			}
+		}
+	}
+	reportRate(b, onBest)
+	pct := (offBest - onBest) / offBest * 100
+	b.ReportMetric(pct, "pct-overhead")
 }

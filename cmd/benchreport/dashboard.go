@@ -65,6 +65,7 @@ type alertDocument struct {
 func renderDashboard(src string) error {
 	var doc tsDocument
 	var alerts *alertDocument
+	var streamTable string
 
 	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
 		base := strings.TrimSuffix(src, "/")
@@ -83,6 +84,11 @@ func renderDashboard(src string) error {
 			alerts = &a
 		}
 		// An unreachable /alerts (older daemon, 503) just hides the table.
+		// Same contract for the stream-health table: daemons without the
+		// stream-telemetry plane answer 503 and the section is omitted.
+		if txt, err := fetchText(base + "/debug/streams?format=text"); err == nil {
+			streamTable = txt
+		}
 	} else {
 		raw, err := os.ReadFile(src)
 		if err != nil {
@@ -101,6 +107,13 @@ func renderDashboard(src string) error {
 
 	if alerts != nil {
 		renderAlertTable(*alerts)
+	}
+	if streamTable != "" {
+		fmt.Println("stream health (per-stream wire telemetry)")
+		for _, line := range strings.Split(strings.TrimRight(streamTable, "\n"), "\n") {
+			fmt.Println("  " + line)
+		}
+		fmt.Println()
 	}
 	renderTopTasks(doc.Series)
 	renderSparklines(doc.Series)
@@ -121,6 +134,22 @@ func fetchJSON(url string, v any) error {
 		return err
 	}
 	return json.Unmarshal(raw, v)
+}
+
+func fetchText(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("scrape %s: %s", url, resp.Status)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
 }
 
 func renderAlertTable(a alertDocument) {

@@ -28,6 +28,11 @@
 //	                                   # diff two saved pprof captures (for
 //	                                   # live processes, see the admin
 //	                                   # plane's /debug/profile/continuous)
+//	benchreport -stream-health http://127.0.0.1:9970
+//	                                   # per-stream wire-telemetry health
+//	                                   # table from a live /debug/streams
+//	benchreport -stream-health e18     # same table from an in-process run
+//	                                   # of the instrumented E18 workload
 package main
 
 import (
@@ -55,7 +60,16 @@ func main() {
 	dashboard := flag.String("dashboard", "", "render a terminal telemetry dashboard from an admin-plane base URL (sparklines, alerts, top tasks) or a saved /debug/timeseries JSON file")
 	fleetDashboard := flag.String("fleet-dashboard", "", "render a fleet federation dashboard (instance registry, fleet alerts, bundles, fleet.* sparklines) from a fleet head's admin-plane base URL")
 	profileDiff := flag.String("profile-diff", "", "attribute allocation/CPU deltas: \"e2\" profiles the parallel-stream workload live, or \"base.pprof,cur.pprof\" diffs two saved captures (e.g. /debug/profile/continuous/raw downloads); live processes serve the same diff at /debug/profile/continuous/diff")
+	streamHealth := flag.String("stream-health", "", "print the per-stream wire-telemetry table: an admin-plane base URL (/debug/streams) or \"e18\" to drive the instrumented workload in-process")
 	flag.Parse()
+
+	if *streamHealth != "" {
+		if err := runStreamHealth(*streamHealth); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *profileDiff != "" {
 		if err := runProfileDiff(*profileDiff); err != nil {

@@ -34,6 +34,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/collector"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	lite := flag.Bool("lite", false, "use GridFTP-Lite (sshftp://): SSH-tunneled control channel, no data security")
 	adminAddr := flag.String("admin", "", "serve the HTTP admin plane on this address and hold after the copy until interrupted")
 	collectorURL := flag.String("collector", "", "push completed spans to this collector /v1/spans URL on exit")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort a data stream making no progress for this long (0 disables the stall watchdog)")
 	flag.Parse()
 
 	// URL arguments override the -thirdparty flag and direction.
@@ -81,7 +83,7 @@ func main() {
 	}
 
 	o := obs.FromEnv()
-	err := run(*size, *parallel, *rtt, *bw, *window, *loss, *mode, *prot, *thirdparty, *dcsc, *lite, *adminAddr, o)
+	err := run(*size, *parallel, *rtt, *bw, *window, *loss, *mode, *prot, *thirdparty, *dcsc, *lite, *adminAddr, *stallTimeout, o)
 	if *collectorURL != "" {
 		// Best-effort: a dead collector must not fail the copy.
 		if perr := collector.Push(*collectorURL, "globus-url-copy", o.Tracer().Spans()); perr != nil {
@@ -111,7 +113,7 @@ func parseSize(s string) (int, error) {
 	return n * mult, nil
 }
 
-func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr string, loss float64, modeStr, protStr string, thirdparty, dcsc, lite bool, adminAddr string, o *obs.Obs) error {
+func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr string, loss float64, modeStr, protStr string, thirdparty, dcsc, lite bool, adminAddr string, stallTimeout time.Duration, o *obs.Obs) error {
 	size, err := parseSize(sizeStr)
 	if err != nil {
 		return err
@@ -130,6 +132,15 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 	nw := netsim.NewNetwork()
 	nw.SetDefaultLink(link)
 
+	// Stream-telemetry plane: both sites and the client share one
+	// registry so a third-party copy shows both legs in one table.
+	streams := streamstats.New(streamstats.Options{
+		Obs:          o,
+		Stall:        stallTimeout,
+		AbortOnStall: stallTimeout > 0,
+	})
+	defer streams.Close()
+
 	// With -admin, the workbench exposes the same telemetry plane as the
 	// daemons — metrics, PERF-marker timelines (/debug/timeseries), SLO
 	// alerts, the SSE live feed — and holds after the copy so an operator
@@ -137,6 +148,7 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 	hold := func() {}
 	if adminAddr != "" {
 		adm := admin.New(o)
+		adm.SetStreamStats(streams)
 		stopTelemetry := adm.EnableTelemetry(o, nil)
 		defer stopTelemetry()
 		addr, aerr := adm.ListenAndServe(adminAddr)
@@ -159,7 +171,7 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 		return nil
 	}
 
-	siteA, err := buildSite(nw, "siteA", o)
+	siteA, err := buildSite(nw, "siteA", o, streams)
 	if err != nil {
 		return err
 	}
@@ -220,7 +232,7 @@ func run(sizeStr string, parallel int, rtt time.Duration, bwStr, windowStr strin
 }
 
 func runThirdParty(nw *netsim.Network, siteA *simpleSite, size, parallel int, useDCSC bool, o *obs.Obs) error {
-	siteB, err := buildSite(nw, "siteB", o)
+	siteB, err := buildSite(nw, "siteB", o, siteA.streams)
 	if err != nil {
 		return err
 	}
@@ -281,9 +293,10 @@ type simpleSite struct {
 	addr    string
 	nw      *netsim.Network
 	o       *obs.Obs
+	streams *streamstats.Registry
 }
 
-func buildSite(nw *netsim.Network, name string, o *obs.Obs) (*simpleSite, error) {
+func buildSite(nw *netsim.Network, name string, o *obs.Obs, streams *streamstats.Registry) (*simpleSite, error) {
 	ca, err := gsi.NewCA(gsi.DN("/O=Grid/OU="+name+"/CN=CA"), 24*time.Hour)
 	if err != nil {
 		return nil, err
@@ -308,7 +321,7 @@ func buildSite(nw *netsim.Network, name string, o *obs.Obs) (*simpleSite, error)
 	gm.AddEntry(userCred.DN(), "alice")
 	srv, err := gridftp.NewServer(nw.Host(name), gridftp.ServerConfig{
 		HostCred: hostCred, Trust: trust, Authz: gm, Storage: storage, EndpointName: name,
-		Obs: o,
+		Obs: o, Streams: streams,
 	})
 	if err != nil {
 		return nil, err
@@ -317,7 +330,7 @@ func buildSite(nw *netsim.Network, name string, o *obs.Obs) (*simpleSite, error)
 	if err != nil {
 		return nil, err
 	}
-	return &simpleSite{name: name, trust: trust, user: userCred, storage: storage, addr: addr.String(), nw: nw, o: o}, nil
+	return &simpleSite{name: name, trust: trust, user: userCred, storage: storage, addr: addr.String(), nw: nw, o: o, streams: streams}, nil
 }
 
 func (s *simpleSite) putFile(path string, content []byte) error {
@@ -334,7 +347,7 @@ func (s *simpleSite) connect(from *netsim.Host) (*gridftp.Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := gridftp.DialWithOptions(from, s.addr, proxy, s.trust, gridftp.DialOptions{Obs: s.o})
+	c, err := gridftp.DialWithOptions(from, s.addr, proxy, s.trust, gridftp.DialOptions{Obs: s.o, Streams: s.streams})
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 //	                 [-fleet] [-fleet-scrape name=url,...] [-fleet-bundle-dir dir]
 //	                 [-fleet-push http://head/v1/metrics] [-fleet-instance name]
 //	                 [-profile-interval 10s] [-profile-retain 5m]
+//	                 [-stall-timeout 0]
 //
 // With -files N (N > 1), the demo transfers a directory of N files of
 // -size each, exercising the concurrent scheduler: -concurrency pins the
@@ -48,6 +49,7 @@ import (
 	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/obs/profile"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -72,6 +74,7 @@ func main() {
 	fleetPushInterval := flag.Duration("fleet-push-interval", time.Second, "push cadence for -fleet-push")
 	profileInterval := flag.Duration("profile-interval", 10*time.Second, "continuous profiler capture cadence (0 disables); runs when -admin or -fleet-push is set")
 	profileRetain := flag.Duration("profile-retain", 5*time.Minute, "how long raw continuous-profile captures are retained (summaries persist ~2h)")
+	stallTimeout := flag.Duration("stall-timeout", 0, "abort a data stream making no progress for this long and retry from checkpoint (0 disables the stall watchdog)")
 	flag.Parse()
 	o := obs.FromEnv()
 	if *verbose {
@@ -94,6 +97,7 @@ func main() {
 		fleetPushInterval: *fleetPushInterval,
 		profileInterval:   *profileInterval,
 		profileRetain:     *profileRetain,
+		stallTimeout:      *stallTimeout,
 	}, o)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
@@ -143,6 +147,7 @@ type runOptions struct {
 	fleetPushInterval time.Duration
 	profileInterval   time.Duration
 	profileRetain     time.Duration
+	stallTimeout      time.Duration
 }
 
 func run(opts runOptions, o *obs.Obs) error {
@@ -169,9 +174,20 @@ func run(opts runOptions, o *obs.Obs) error {
 		defer prof.Stop()
 	}
 
+	// Stream-telemetry plane: one registry shared by both endpoints and
+	// the scheduler, so per-stream wire telemetry, the stall watchdog, and
+	// the scheduler's per-attempt wire evidence all read the same state.
+	streams := streamstats.New(streamstats.Options{
+		Obs:          o,
+		Stall:        opts.stallTimeout,
+		AbortOnStall: opts.stallTimeout > 0,
+	})
+	defer streams.Close()
+
 	var adm *admin.Server
 	if adminAddr != "" {
 		adm = admin.New(o)
+		adm.SetStreamStats(streams)
 		// Recorder + alert engine + live stream: the queue-wait burn-rate
 		// rule in tsdb.DefaultRules watches this very service's admission
 		// semaphore.
@@ -230,7 +246,7 @@ func run(opts runOptions, o *obs.Obs) error {
 		ep, err := gcmu.Install(gcmu.Options{
 			Name: name, Host: nw.Host(name), Auth: stack, Accounts: accounts,
 			Storage: faulty, WithOAuth: useOAuth, MarkerInterval: 25 * time.Millisecond,
-			Obs: o,
+			Obs: o, Streams: streams,
 		})
 		return ep, faulty, err
 	}
@@ -253,6 +269,7 @@ func run(opts runOptions, o *obs.Obs) error {
 		MaxActiveTransfers: opts.maxActive,
 		MarkerInterval:     opts.markerInterval,
 		Obs:                o,
+		Streams:            streams,
 	})
 	for _, ep := range []*gcmu.Endpoint{epA, epB} {
 		if err := svc.RegisterEndpoint(transfer.Endpoint{

@@ -11,6 +11,7 @@
 //	/readyz        readiness probes (same contract, separate set)
 //	/debug/spans   the live span forest as JSON
 //	/debug/events  the structured event ring as JSON (?n= limit, ?type= prefix)
+//	/debug/streams per-stream wire telemetry (stream-health table; ?format=text)
 //	/debug/pprof/  the standard on-demand Go profiling endpoints; for the
 //	               retained capture history see /debug/profile/continuous
 //	/debug/profile/continuous  the continuous profiler's window ring
@@ -41,6 +42,7 @@ import (
 	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/obs/expfmt"
 	"gridftp.dev/instant/internal/obs/profile"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/obs/tsdb"
 )
 
@@ -74,6 +76,11 @@ type Server struct {
 	// (profile.go); nil answers 503.
 	profiler *profile.Profiler
 
+	// streams is the per-stream wire-telemetry registry behind
+	// /debug/streams; nil answers 503 so the route keeps one shape whether
+	// or not this daemon tracks data streams.
+	streams *streamstats.Registry
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -94,6 +101,7 @@ func New(o *obs.Obs) *Server {
 	s.mux.HandleFunc("/debug/spans", s.handleSpans)
 	s.mux.HandleFunc("/debug/events", s.handleEvents)
 	s.mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("/debug/streams", s.handleStreams)
 	s.mux.HandleFunc("/debug/stream", s.handleStream)
 	s.mux.HandleFunc("/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/fleet/", s.handleFleet)
@@ -121,6 +129,39 @@ func (s *Server) SetFleet(h http.Handler) {
 	s.mu.Lock()
 	s.fleet = h
 	s.mu.Unlock()
+}
+
+// SetStreamStats mounts a per-stream wire-telemetry registry
+// (internal/obs/streamstats) under /debug/streams. Nil unmounts; the
+// route then answers 503.
+func (s *Server) SetStreamStats(reg *streamstats.Registry) {
+	s.mu.Lock()
+	s.streams = reg
+	s.mu.Unlock()
+}
+
+// handleStreams serves the stream-health table: per-transfer, per-stream
+// wire telemetry (bytes, EWMA throughput, RTT, retransmits, stall state).
+// JSON by default; ?format=text renders the same table an operator sees
+// in benchreport's dashboard.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	reg := s.streams
+	s.mu.Unlock()
+	if reg == nil {
+		http.Error(w, "stream telemetry not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	transfers := reg.Health()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, streamstats.FormatTable(transfers))
+		return
+	}
+	if transfers == nil {
+		transfers = []streamstats.TransferHealth{}
+	}
+	writeJSON(w, map[string]any{"transfers": transfers})
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +251,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /alerts         SLO alert rules with live state (JSON)")
 	fmt.Fprintln(w, "  /debug/timeseries  recorded series (JSON; ?series= ?since=30s ?step=5s)")
 	fmt.Fprintln(w, "  /debug/stream   live SSE feed (metric deltas, events, alerts)")
+	fmt.Fprintln(w, "  /debug/streams  per-stream wire telemetry / stream-health table (JSON; ?format=text)")
 	fmt.Fprintln(w, "  /fleet/         fleet federation plane (instances, metrics, timeseries, bundles, profile)")
 	fmt.Fprintln(w, "  /v1/metrics     fleet metric push ingest (POST, expfmt)")
 	fmt.Fprintln(w, "  /debug/profile/continuous  continuous profiler windows (JSON; /top /diff /raw)")

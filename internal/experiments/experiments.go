@@ -21,6 +21,7 @@ import (
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -126,6 +127,9 @@ type siteOptions struct {
 	markerInterval time.Duration
 	disableCache   bool
 	withFaults     bool
+	// streams, when non-nil, installs per-stream wire telemetry on the
+	// server's data path (the E18 overhead experiment).
+	streams *streamstats.Registry
 }
 
 // newSite builds a GridFTP site with CA, host cred, one user "alice".
@@ -166,6 +170,7 @@ func newSite(nw *netsim.Network, name string, opts siteOptions) (*site, error) {
 		MarkerInterval:      opts.markerInterval,
 		EndpointName:        name,
 		DisableChannelCache: opts.disableCache,
+		Streams:             opts.streams,
 	}
 	s := &site{
 		name: name, ca: ca, trust: trust, host: nw.Host(name),

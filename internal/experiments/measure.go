@@ -5,6 +5,7 @@ import (
 
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs/streamstats"
 )
 
 // Exported single-measurement entry points for the root benchmark harness
@@ -65,4 +66,13 @@ func MeasureCacheRun(cfg AblationCacheConfig, cached bool) (time.Duration, error
 // MeasureBlockSizeRate runs one download at the given MODE E block size.
 func MeasureBlockSizeRate(cfg AblationBlockSizeConfig, blockSize int) (float64, error) {
 	return blockSizeRate(cfg, blockSize)
+}
+
+// MeasureStreamTelemetryRate runs one parallel download with per-stream
+// wire telemetry installed on both data-path ends (reg != nil) or absent
+// (reg == nil) — the E18 overhead measurement. A zero-bandwidth link
+// runs the path CPU-bound; a shaped one measures achieved-throughput
+// cost on a WAN.
+func MeasureStreamTelemetryRate(link netsim.LinkParams, fileBytes, parallelism int, reg *streamstats.Registry) (float64, error) {
+	return streamTelemetryRate(link, fileBytes, parallelism, reg)
 }

@@ -10,6 +10,7 @@ import (
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
+	"gridftp.dev/instant/internal/obs/streamstats"
 )
 
 // E2Config parameterizes the parallel-streams experiment.
@@ -271,6 +272,57 @@ func protRate(fileBytes int, prot gridftp.ProtLevel) (float64, error) {
 		dst := dsi.NewBufferFile(nil)
 		start := time.Now()
 		if _, err := c.Get("/prot.bin", dst); err != nil {
+			return 0, err
+		}
+		if r := rate(int64(fileBytes), time.Since(start)); r > best {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// streamTelemetryRate measures parallel-download throughput with
+// per-stream wire telemetry either fully installed (server data path
+// instrumented, client data path instrumented, poller live) or absent —
+// the E18 overhead experiment. A zero-bandwidth link leaves the path
+// unshaped (CPU-bound); a shaped link measures the deployment question —
+// whether the X-ray costs achieved WAN throughput. Best-of-three with a
+// GC between runs, like protRate.
+func streamTelemetryRate(link netsim.LinkParams, fileBytes, parallelism int, reg *streamstats.Registry) (float64, error) {
+	nw := netsim.NewNetwork()
+	if link.Bandwidth > 0 {
+		nw.SetLink("client", "siteA", link)
+	}
+	s, err := newSite(nw, "siteA", siteOptions{streams: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer s.close()
+	if err := s.putFile("/xray.bin", pattern(fileBytes)); err != nil {
+		return 0, err
+	}
+	proxy, err := gsi.NewProxy(s.user, gsi.ProxyOptions{})
+	if err != nil {
+		return 0, err
+	}
+	c, err := gridftp.DialWithOptions(nw.Host("client"), s.addr, proxy, s.trust,
+		gridftp.DialOptions{Streams: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	if err := c.Delegate(2 * time.Hour); err != nil {
+		return 0, err
+	}
+	if err := c.SetParallelism(parallelism); err != nil {
+		return 0, err
+	}
+	var best float64
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+		dst := dsi.NewBufferFile(nil)
+		start := time.Now()
+		if _, err := c.Get("/xray.bin", dst); err != nil {
 			return 0, err
 		}
 		if r := rate(int64(fileBytes), time.Since(start)); r > best {

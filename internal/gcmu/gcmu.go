@@ -20,6 +20,7 @@ import (
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/usagestats"
 )
@@ -55,6 +56,11 @@ type Options struct {
 	// Obs receives the endpoint's structured logs, metrics, and spans;
 	// it is passed through to the GridFTP server. Nil disables it.
 	Obs *obs.Obs
+	// Streams is the per-stream wire-telemetry registry passed through to
+	// the GridFTP server: every data stream the endpoint opens is tracked
+	// (bytes, EWMA throughput, TCP_INFO, stall watchdog). Nil disables
+	// stream telemetry.
+	Streams *streamstats.Registry
 }
 
 // Endpoint is a running GCMU installation.
@@ -190,6 +196,7 @@ func Install(opts Options) (*Endpoint, error) {
 		Usage:          usagestats.MultiSink(opts.Usage, metricsSink),
 		EndpointName:   opts.Name,
 		Obs:            opts.Obs,
+		Streams:        opts.Streams,
 	})
 	if err != nil {
 		return nil, err

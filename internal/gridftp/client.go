@@ -14,6 +14,7 @@ import (
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/streamstats"
 )
 
 // Client is a GridFTP client protocol interpreter with its own DTP, able
@@ -58,6 +59,11 @@ type Client struct {
 
 	cacheDisabled bool
 	delegated     bool
+
+	// streams is the client-side stream-telemetry registry; task labels
+	// the client's own transfers in it (see SetTask).
+	streams *streamstats.Registry
+	task    string
 }
 
 // DialOptions tweak client connection behaviour.
@@ -66,6 +72,9 @@ type DialOptions struct {
 	DisableChannelCache bool
 	// Obs receives client-side metrics and logs (nil = disabled).
 	Obs *obs.Obs
+	// Streams, if non-nil, receives per-stream wire telemetry for this
+	// client's MODE E transfers (see internal/obs/streamstats).
+	Streams *streamstats.Registry
 }
 
 // Dial connects to a GridFTP server at addr from the given simulated host,
@@ -89,6 +98,7 @@ func DialWithOptions(host *netsim.Host, addr string, cred *gsi.Credential, trust
 		spec:          ChannelSpec{Mode: ModeExtended}.Normalize(),
 		cacheDisabled: opts.DisableChannelCache,
 		obs:           opts.Obs,
+		streams:       opts.Streams,
 		perfBytes:     make(map[int]int64),
 	}
 	if _, err := c.ctrl.Expect(ftp.CodeReadyForNewUser); err != nil {
@@ -321,6 +331,24 @@ func (c *Client) SetTransport(tr netsim.Transport) error {
 	return nil
 }
 
+// SetDeflate toggles DEFLATE compression on the data channels
+// ("OPTS RETR Deflate=1;"). Both ends wrap every subsequent channel
+// symmetrically; existing pools flush on both sides.
+func (c *Client) SetDeflate(on bool) error {
+	flag := "0"
+	if on {
+		flag = "1"
+	}
+	if _, err := c.cmdExpect("OPTS", "RETR Deflate="+flag+";", ftp.CodeOK); err != nil {
+		return err
+	}
+	if on != c.spec.Deflate {
+		c.spec.Deflate = on
+		c.flushPools()
+	}
+	return nil
+}
+
 // SetProt sets the data channel protection level.
 func (c *Client) SetProt(p ProtLevel) error {
 	if _, err := c.cmdExpect("PBSZ", "0", ftp.CodeOK); err != nil {
@@ -497,7 +525,7 @@ func (c *Client) dialData(n int) ([]*dataChannel, error) {
 				errs[i] = err
 				return
 			}
-			chans[i] = &dataChannel{raw: raw, sec: sec}
+			chans[i] = &dataChannel{raw: raw, sec: maybeDeflate(sec, c.spec.Deflate)}
 		}(i)
 	}
 	wg.Wait()
@@ -640,6 +668,38 @@ func (c *Client) PerfSnapshot() (total int64, stripes, markers int) {
 // during transfers.
 func (c *Client) OnPerf(cb func(PerfMarker)) { c.perfCB = cb }
 
+// SetTask labels this session's transfers in the stream-telemetry plane,
+// both locally and — via SITE TASK — on the server, so the per-stream
+// series of both ends of a transfer share one task prefix. A server
+// without the extension replies 500; that degrades to local-only labeling
+// rather than an error.
+func (c *Client) SetTask(label string) error {
+	c.task = label
+	if _, err := c.cmdExpect("SITE", "TASK "+label, ftp.CodeOK); err != nil {
+		var re *ftp.ReplyError
+		if errors.As(err, &re) && re.Reply.Code == ftp.CodeSyntaxError {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// trackChannels registers a MODE E transfer's channels with the client's
+// stream-telemetry registry; see session.trackChannels for the server twin.
+func (c *Client) trackChannels(verb string, chans []*dataChannel) ([]net.Conn, *streamstats.Transfer) {
+	conns := secConns(chans)
+	if c.streams == nil {
+		return conns, nil
+	}
+	t := c.streams.Begin(c.task, verb)
+	for i, ch := range chans {
+		conns[i] = t.Wrap(i, ch.sec, ch.raw)
+	}
+	t.SetAbort(func() { abortChannels(chans) })
+	return conns, t
+}
+
 // TransferStats reports what a transfer moved.
 type TransferStats struct {
 	Bytes    int64
@@ -722,7 +782,8 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 		return nil, err
 	}
 	sent := c.obs.Registry().Counter("gridftp.client.bytes_sent")
-	sendErr := sendModeE(secConns(chans), src, ranges, c.spec.BlockSize,
+	conns, tracker := c.trackChannels("put", chans)
+	sendErr := sendModeE(conns, src, ranges, c.spec.BlockSize,
 		func(stream int, n int64) { sent.Add(n) })
 	r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) {
 		if ranges := c.handlePreliminary(p); ranges != nil {
@@ -731,18 +792,22 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 	})
 	switch {
 	case sendErr != nil:
+		tracker.Done(sendErr)
 		closeChannels(chans)
 		c.flushPools()
 		return &TransferStats{Markers: lastMarkers}, sendErr
 	case rerr != nil:
+		tracker.Done(rerr)
 		closeChannels(chans)
 		c.flushPools()
 		return &TransferStats{Markers: lastMarkers}, rerr
 	case r.Err() != nil:
+		tracker.Done(r.Err())
 		closeChannels(chans)
 		c.flushPools()
 		return &TransferStats{Markers: lastMarkers}, r.Err()
 	}
+	tracker.Done(nil)
 	c.retire(chans, true)
 	return &TransferStats{Bytes: totalLen(ranges), Duration: time.Since(start), Markers: lastMarkers}, nil
 }
@@ -787,6 +852,7 @@ func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*
 			c.ctrl.ReadFinalReply(nil)
 			return nil, err
 		}
+		sec = maybeDeflate(sec, c.spec.Deflate)
 		offset := int64(0)
 		if len(restart) == 1 && restart[0].Start == 0 {
 			offset = restart[0].End
@@ -853,7 +919,7 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 	sealed := false
 	pi := 0
 	securedAccept := parallelSecureAccept(c.acceptOneStop, c.dataContext(),
-		c.spec.DCAU, c.spec.Prot, func(ch *dataChannel) {
+		c.spec.DCAU, c.spec.Prot, c.spec.Deflate, func(ch *dataChannel) {
 			freshMu.Lock()
 			if sealed {
 				freshMu.Unlock()
@@ -871,6 +937,28 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 		}
 		return securedAccept(stop)
 	}
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	cancelRecv := func() { cancelOnce.Do(func() { close(cancel) }) }
+	// Stream telemetry: instrument connections as they join the receive,
+	// and let the stall watchdog cancel it. accept runs on recvModeE's
+	// single acceptor goroutine, so the index needs no lock.
+	var tracker *streamstats.Transfer
+	if c.streams != nil {
+		tracker = c.streams.Begin(c.task, "get")
+		tracker.SetAbort(cancelRecv)
+		base := accept
+		idx := 0
+		accept = func(stop <-chan struct{}) (net.Conn, error) {
+			conn, err := base(stop)
+			if err != nil {
+				return conn, err
+			}
+			i := idx
+			idx++
+			return tracker.Wrap(i, conn, conn), nil
+		}
+	}
 	type finalReply struct {
 		r   ftp.Reply
 		err error
@@ -880,7 +968,6 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handlePreliminary(p) })
 		replyCh <- finalReply{r, err}
 	}()
-	cancel := make(chan struct{})
 	resCh := make(chan recvResult, 1)
 	go func() { resCh <- recvModeE(accept, dst, received, nil, cancel) }()
 
@@ -891,7 +978,7 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 		fin = <-replyCh
 	case fin = <-replyCh:
 		if fin.err != nil || fin.r.Err() != nil {
-			close(cancel)
+			cancelRecv()
 		}
 		res = <-resCh
 	}
@@ -903,6 +990,14 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 	sealed = true
 	all := append(pooled[:pi:pi], fresh...)
 	freshMu.Unlock()
+	switch {
+	case fin.err != nil:
+		tracker.Done(fin.err)
+	case fin.r.Err() != nil:
+		tracker.Done(fin.r.Err())
+	default:
+		tracker.Done(res.Err)
+	}
 	if fin.err != nil || fin.r.Err() != nil || res.Err != nil {
 		closeChannels(all)
 		c.flushPools()

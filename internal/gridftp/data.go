@@ -13,8 +13,27 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/usagestats"
+	"gridftp.dev/instant/internal/xio"
 )
+
+// deflateDriver is the shared MODE E compression driver: one instance,
+// because its flate writer/reader pools are what make per-channel
+// compression affordable on channel-caching workloads.
+var deflateDriver = &xio.DeflateDriver{}
+
+// maybeDeflate layers DEFLATE over a secured channel when the session
+// negotiated "OPTS RETR Deflate=1;". Compression sits above the security
+// layer (compress-then-encrypt) and below the MODE E framing, so block
+// headers and payload travel as one continuous DEFLATE stream that
+// survives pooled-channel reuse.
+func maybeDeflate(sec net.Conn, on bool) net.Conn {
+	if !on {
+		return sec
+	}
+	return deflateDriver.Wrap(sec)
+}
 
 func msDuration(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
 
@@ -237,7 +256,7 @@ func (sess *session) establishChannels(n int) ([]*dataChannel, error) {
 					errs[i] = err
 					return
 				}
-				chans[i] = &dataChannel{raw: raw, sec: sec}
+				chans[i] = &dataChannel{raw: raw, sec: maybeDeflate(sec, sess.spec.Deflate)}
 			}(i)
 		}
 		wg.Wait()
@@ -280,7 +299,7 @@ func (sess *session) establishChannels(n int) ([]*dataChannel, error) {
 					errs[i] = err
 					return
 				}
-				chans[i] = &dataChannel{raw: raw, sec: sec, acceptor: true}
+				chans[i] = &dataChannel{raw: raw, sec: maybeDeflate(sec, sess.spec.Deflate), acceptor: true}
 			}(i, raw)
 		}
 		wg.Wait()
@@ -336,7 +355,7 @@ func closeChannels(chans []*dataChannel) {
 // (serialized) with each secured channel so the caller can track it for
 // pooling. The pump stops when stop closes or the raw source fails.
 func parallelSecureAccept(rawAccept func(stop <-chan struct{}) (net.Conn, error),
-	ctx *SecurityContext, dcau DCAUMode, prot ProtLevel,
+	ctx *SecurityContext, dcau DCAUMode, prot ProtLevel, deflate bool,
 	onNew func(*dataChannel)) func(stop <-chan struct{}) (net.Conn, error) {
 
 	secured := make(chan net.Conn, 64)
@@ -365,6 +384,7 @@ func parallelSecureAccept(rawAccept func(stop <-chan struct{}) (net.Conn, error)
 						}
 						return
 					}
+					sec = maybeDeflate(sec, deflate)
 					mu.Lock()
 					onNew(&dataChannel{raw: raw, sec: sec, acceptor: true})
 					mu.Unlock()
@@ -496,7 +516,13 @@ func (sess *session) handleRetr(params string, off, length int64) {
 			defer close(perfDone)
 			perfEmitter(perf, sess.markerInterval(), sess.emitPerf, perfStop)
 		}()
-		sendErr = sendModeE(secConns(chans), f, ranges, sess.spec.BlockSize, perf.add)
+		conns, tracker := sess.trackChannels("RETR", chans)
+		tracker.SetAbort(func() { abortChannels(chans) })
+		sendErr = sendModeE(conns, f, ranges, sess.spec.BlockSize, perf.add)
+		if tracker.StallAborted() && sendErr != nil {
+			sendErr = fmt.Errorf("stalled stream aborted by watchdog: %w", sendErr)
+		}
+		tracker.Done(sendErr)
 		close(perfStop)
 		<-perfDone
 	} else {
@@ -594,7 +620,7 @@ func (sess *session) handleStor(params string) {
 	var securedAccept func(stop <-chan struct{}) (net.Conn, error)
 	if acceptRaw != nil {
 		securedAccept = parallelSecureAccept(acceptRaw, sess.dataContext(),
-			sess.spec.DCAU, sess.spec.Prot, func(ch *dataChannel) {
+			sess.spec.DCAU, sess.spec.Prot, sess.spec.Deflate, func(ch *dataChannel) {
 				freshMu.Lock()
 				if sealed {
 					// The transfer already concluded; a late handshake's
@@ -637,6 +663,29 @@ func (sess *session) handleStor(params string) {
 		}
 	}
 
+	// Stream telemetry: instrument each data connection as it joins the
+	// transfer, and give the stall watchdog a cancel path into the receive
+	// loop (closing cancelOnStall makes recvModeE close its active conns).
+	var tracker *streamstats.Transfer
+	var cancelOnStall chan struct{}
+	if reg := sess.srv.cfg.Streams; reg != nil {
+		tracker = reg.Begin(sess.streamLabel("STOR"), "STOR")
+		cancelOnStall = make(chan struct{})
+		var cancelOnce sync.Once
+		tracker.SetAbort(func() { cancelOnce.Do(func() { close(cancelOnStall) }) })
+		base := accept
+		idx := 0 // accept runs on recvModeE's single acceptor goroutine
+		accept = func(stop <-chan struct{}) (net.Conn, error) {
+			c, err := base(stop)
+			if err != nil {
+				return c, err
+			}
+			i := idx
+			idx++
+			return tracker.Wrap(i, c, c), nil
+		}
+	}
+
 	sess.reply(ftp.CodeFileStatusOK, "Opening data connection")
 	sess.eventTransfer(eventlog.TransferStart, "STOR", p, -1)
 
@@ -665,7 +714,11 @@ func (sess *session) handleStor(params string) {
 		defer close(perfDone)
 		perfEmitter(perf, sess.markerInterval(), sess.emitPerf, stop)
 	}()
-	res := recvModeE(accept, f, received, perf.add, nil)
+	res := recvModeE(accept, f, received, perf.add, cancelOnStall)
+	if tracker.StallAborted() && res.Err != nil {
+		res.Err = fmt.Errorf("stalled stream aborted by watchdog: %w", res.Err)
+	}
+	tracker.Done(res.Err)
 	close(stop)
 	<-markerDone
 	<-perfDone
@@ -814,6 +867,53 @@ func (sess *session) reportUsage(op, path string, bytes int64, dur time.Duration
 		Duration: dur,
 		When:     time.Now(),
 	})
+}
+
+// streamLabel names this session's current transfer in the stream-health
+// plane: the SITE TASK label when one is installed — with a "-src" suffix
+// on RETR, so the sending leg of a third-party transfer stays
+// distinguishable from the receiving leg under one task prefix — or empty,
+// which makes the registry generate a per-transfer label.
+func (sess *session) streamLabel(verb string) string {
+	if sess.task == "" {
+		return ""
+	}
+	if verb == "RETR" {
+		return sess.task + "-src"
+	}
+	return sess.task
+}
+
+// trackChannels registers a MODE E transfer's data channels with the
+// server's stream-telemetry registry and returns the instrumented conns
+// (or the plain secured conns when no registry is configured). The raw
+// conn rides along as the wire-counter source — TCP_INFO or netsim
+// WireStatus — which a TLS payload wrapper cannot provide.
+func (sess *session) trackChannels(verb string, chans []*dataChannel) ([]net.Conn, *streamstats.Transfer) {
+	conns := secConns(chans)
+	reg := sess.srv.cfg.Streams
+	if reg == nil {
+		return conns, nil
+	}
+	t := reg.Begin(sess.streamLabel(verb), verb)
+	for i, ch := range chans {
+		conns[i] = t.Wrap(i, ch.sec, ch.raw)
+	}
+	return conns, t
+}
+
+// abortChannels force-closes data connections, preferring a hard abort
+// (netsim's TCP RST analogue) so even writers paced out by a rate limiter
+// release immediately. The stall watchdog uses this to fail a stalled
+// transfer fast enough for the retry to matter.
+func abortChannels(chans []*dataChannel) {
+	for _, ch := range chans {
+		if ab, ok := ch.raw.(interface{ Abort() }); ok {
+			ab.Abort()
+		} else {
+			ch.raw.Close()
+		}
+	}
 }
 
 func secConns(chans []*dataChannel) []net.Conn {

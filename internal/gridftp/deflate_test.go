@@ -1,0 +1,74 @@
+package gridftp
+
+import (
+	"bytes"
+	"testing"
+
+	"gridftp.dev/instant/internal/dsi"
+	"gridftp.dev/instant/internal/netsim"
+)
+
+// TestDeflateModeETransfer negotiates OPTS RETR Deflate=1 and moves a
+// compressible payload both directions through MODE E with parallel
+// streams; channel reuse across the put/get pair keeps one continuous
+// DEFLATE stream per direction alive.
+func TestDeflateModeETransfer(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	if err := c.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDeflate(true); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("compressible gridftp payload "), 4000)
+	for round := 0; round < 2; round++ {
+		if _, err := c.Put("/z.bin", dsi.NewBufferFile(payload)); err != nil {
+			t.Fatalf("round %d put: %v", round, err)
+		}
+		if got := s.readFile(t, "/z.bin"); !bytes.Equal(got, payload) {
+			t.Fatalf("round %d: stored content mismatch (%d of %d bytes)", round, len(got), len(payload))
+		}
+		dst := dsi.NewBufferFile(nil)
+		if _, err := c.Get("/z.bin", dst); err != nil {
+			t.Fatalf("round %d get: %v", round, err)
+		}
+		if !bytes.Equal(dst.Bytes(), payload) {
+			t.Fatalf("round %d: downloaded content mismatch", round)
+		}
+	}
+	// Switching compression off flushes the pools and moves cleartext.
+	if err := c.SetDeflate(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("/plain.bin", dsi.NewBufferFile(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.readFile(t, "/plain.bin"); !bytes.Equal(got, payload) {
+		t.Fatal("content mismatch after disabling deflate")
+	}
+}
+
+// TestDeflateStreamMode covers the MODE S path: a single accepted data
+// connection wrapped with the deflate driver on both ends.
+func TestDeflateStreamMode(t *testing.T) {
+	nw := netsim.NewNetwork()
+	s := newSite(t, nw, "siteA")
+	c := s.connect(t, nw.Host("laptop"), true)
+	if err := c.SetMode(ModeStream); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDeflate(true); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("stream mode deflate "), 2500)
+	s.putFile(t, "/s.bin", payload)
+	dst := dsi.NewBufferFile(nil)
+	if _, err := c.Get("/s.bin", dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst.Bytes(), payload) {
+		t.Fatal("stream-mode deflate content mismatch")
+	}
+}

@@ -38,6 +38,11 @@ type ChannelSpec struct {
 	// MarkerInterval is how often the receiving side reports restart
 	// markers; zero disables them.
 	MarkerInterval time.Duration
+	// Deflate layers DEFLATE compression over each data channel
+	// ("OPTS RETR Deflate=1;"). Both ends of the session see the same
+	// negotiation, so their channel pools flush in lockstep and every
+	// channel is wrapped symmetrically.
+	Deflate bool
 }
 
 // Normalize fills defaults.

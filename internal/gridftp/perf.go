@@ -54,15 +54,30 @@ func perfMarkerLines(m PerfMarker) []string {
 	}
 }
 
+// maxStripeIndex bounds the stripe index / stripe count accepted from the
+// wire. Markers are untrusted remote input and consumers index per-stripe
+// accumulators by this value, so an absurd index must not translate into
+// an absurd allocation.
+const maxStripeIndex = 1 << 20
+
+// maxPerfTimestamp is the largest epoch-seconds value the parser converts
+// to a time.Time; beyond it the float64 * 1e9 nanosecond conversion would
+// overflow int64 and produce a garbage (possibly negative) timestamp.
+const maxPerfTimestamp = float64(1 << 33) // year ~2242
+
 // ParsePerfMarker parses a 112 preliminary reply into a PerfMarker. ok is
-// false for replies that are not performance markers.
+// false for replies that are not performance markers, and for markers with
+// out-of-range fields (negative byte counts, negative or absurdly large
+// stripe indexes, non-finite timestamps): the values feed per-stripe
+// accumulators, so range errors here would become panics or unbounded
+// allocations downstream.
 func ParsePerfMarker(r ftp.Reply) (PerfMarker, bool) {
 	if r.Code != ftp.CodeRestartMarker+1 || len(r.Lines) == 0 ||
 		!strings.HasPrefix(strings.TrimSpace(r.Lines[0]), "Perf Marker") {
 		return PerfMarker{}, false
 	}
 	var m PerfMarker
-	seen := 0
+	var gotStripe, gotBytes, gotCount bool
 	for _, line := range r.Lines[1:] {
 		key, val, found := strings.Cut(line, ":")
 		if !found {
@@ -71,27 +86,28 @@ func ParsePerfMarker(r ftp.Reply) (PerfMarker, bool) {
 		val = strings.TrimSpace(val)
 		switch strings.TrimSpace(key) {
 		case "Timestamp":
-			if f, err := strconv.ParseFloat(val, 64); err == nil {
+			if f, err := strconv.ParseFloat(val, 64); err == nil &&
+				f >= 0 && f <= maxPerfTimestamp {
 				m.Timestamp = time.Unix(0, int64(f*float64(time.Second)))
 			}
 		case "Stripe Index":
-			if n, err := strconv.Atoi(val); err == nil {
+			if n, err := strconv.Atoi(val); err == nil && n >= 0 && n <= maxStripeIndex {
 				m.Stripe = n
-				seen++
+				gotStripe = true
 			}
 		case "Stripe Bytes Transferred":
-			if n, err := strconv.ParseInt(val, 10, 64); err == nil {
+			if n, err := strconv.ParseInt(val, 10, 64); err == nil && n >= 0 {
 				m.StripeBytes = n
-				seen++
+				gotBytes = true
 			}
 		case "Total Stripe Count":
-			if n, err := strconv.Atoi(val); err == nil {
+			if n, err := strconv.Atoi(val); err == nil && n >= 0 && n <= maxStripeIndex {
 				m.TotalStripes = n
-				seen++
+				gotCount = true
 			}
 		}
 	}
-	return m, seen == 3
+	return m, gotStripe && gotBytes && gotCount
 }
 
 // CodePerfMarker is the preliminary reply code for performance markers.
@@ -107,7 +123,7 @@ type perfTracker struct {
 }
 
 func (t *perfTracker) add(stripe int, n int64) {
-	if t == nil || n <= 0 {
+	if t == nil || n <= 0 || stripe < 0 || stripe > maxStripeIndex {
 		return
 	}
 	t.mu.Lock()

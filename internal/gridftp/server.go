@@ -17,6 +17,7 @@ import (
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/usagestats"
 )
 
@@ -70,6 +71,13 @@ type ServerConfig struct {
 	// Obs receives structured logs, metrics, and spans. Nil disables
 	// observability (all call sites degrade to no-ops).
 	Obs *obs.Obs
+	// Streams, if non-nil, receives per-stream wire telemetry for every
+	// MODE E transfer this server carries: cumulative bytes, EWMA
+	// throughput, RTT/retransmit/cwnd wire counters, and stall-watchdog
+	// supervision (the registry's Stall window decides when a silent
+	// stream is declared stalled and — with AbortOnStall — torn down so
+	// the client can retry from its restart markers).
+	Streams *streamstats.Registry
 }
 
 // Server is a GridFTP server protocol interpreter plus its DTP(s).
@@ -181,6 +189,12 @@ type session struct {
 	spec    ChannelSpec
 	restart []Range
 	cwd     string
+
+	// task is the caller-supplied task label installed by SITE TASK; the
+	// stream-telemetry plane uses it to name this session's per-stream
+	// series, so both ends of a third-party transfer (and the scheduler
+	// that drives them) aggregate under one task identity.
+	task string
 
 	renameFrom string
 

@@ -30,6 +30,7 @@ func registerSite(name, help string, fn func(*session, string)) {
 func init() {
 	registerSite("HELP", "HELP — list SITE subcommands", (*session).handleSiteHelp)
 	registerSite("TRACE", "TRACE <traceparent> — join the caller's distributed trace", (*session).handleSiteTrace)
+	registerSite("TASK", "TASK <label> — label this session's transfers for stream telemetry", (*session).handleSiteTask)
 }
 
 // siteDisabled reports whether a registered subcommand is switched off by
@@ -83,4 +84,23 @@ func (sess *session) handleSiteTrace(params string) {
 	sess.log.Debug("trace context installed",
 		"trace", sc.TraceID.String(), "parent", sc.SpanID.String())
 	sess.reply(ftp.CodeOK, "Trace context accepted")
+}
+
+// maxTaskLabel bounds SITE TASK labels: they become time-series names, so
+// an unbounded remote-supplied label would mint unbounded series.
+const maxTaskLabel = 128
+
+// handleSiteTask installs the session's task label. The stream-telemetry
+// plane names this session's per-stream series after it, so a transfer
+// scheduler can send the same label to both endpoints of a third-party
+// transfer and read back one coherent stream-health picture. An empty
+// label clears it.
+func (sess *session) handleSiteTask(params string) {
+	label := strings.TrimSpace(params)
+	if len(label) > maxTaskLabel || strings.ContainsAny(label, " \t") {
+		sess.reply(ftp.CodeParamSyntaxError, "Bad task label")
+		return
+	}
+	sess.task = label
+	sess.reply(ftp.CodeOK, "Task label accepted")
 }

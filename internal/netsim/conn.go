@@ -32,6 +32,8 @@ type pipeHalf struct {
 	dead      bool          // hard-closed; reads fail immediately
 	dataReady chan struct{} // signalled when data or EOF becomes available
 	spaceFree chan struct{} // signalled when buffer space frees up
+	deadCh    chan struct{} // closed on hardClose; interrupts pacing sleeps
+	deadOnce  sync.Once
 }
 
 func newPipeHalf(s *streamShaper) *pipeHalf {
@@ -39,6 +41,32 @@ func newPipeHalf(s *streamShaper) *pipeHalf {
 		shaper:    s,
 		dataReady: make(chan struct{}, 1),
 		spaceFree: make(chan struct{}, 1),
+		deadCh:    make(chan struct{}),
+	}
+}
+
+// sleepUntil blocks until t. It returns false if the half is hard-closed
+// first: a paced writer sleeping out a multi-second transmission under an
+// injected loss spike must release immediately when the watchdog or fault
+// injector tears the connection down, or stall recovery would be gated on
+// the very rate limit that caused the stall.
+func (h *pipeHalf) sleepUntil(t time.Time) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		select {
+		case <-h.deadCh:
+			return false
+		default:
+			return true
+		}
+	}
+	tm := time.NewTimer(d)
+	defer tm.Stop()
+	select {
+	case <-tm.C:
+		return true
+	case <-h.deadCh:
+		return false
 	}
 }
 
@@ -102,13 +130,15 @@ func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
 		// Pace the writer: it regains control once transmission (finish
 		// time minus one-way propagation) completes.
 		if h.shaper != nil {
-			sendDone := at.Add(-h.shaper.oneWay)
-			if d := time.Until(sendDone); d > 0 {
+			sendDone := at.Add(-h.shaper.propagation())
+			if time.Until(sendDone) > 0 {
 				if !deadline.IsZero() && sendDone.After(deadline) {
-					time.Sleep(time.Until(deadline))
+					h.sleepUntil(deadline)
 					return total, os.ErrDeadlineExceeded
 				}
-				time.Sleep(d)
+				if !h.sleepUntil(sendDone) {
+					return total, net.ErrClosed
+				}
 			}
 		}
 	}
@@ -125,15 +155,16 @@ func (h *pipeHalf) read(p []byte, deadline time.Time) (int, error) {
 			return 0, net.ErrClosed
 		}
 		if len(h.buf) > 0 {
-			c := &h.buf[0]
-			wait := time.Until(c.at)
-			if wait > 0 {
+			at := h.buf[0].at
+			if wait := time.Until(at); wait > 0 {
 				h.mu.Unlock()
-				if !deadline.IsZero() && c.at.After(deadline) {
-					time.Sleep(time.Until(deadline))
+				if !deadline.IsZero() && at.After(deadline) {
+					h.sleepUntil(deadline)
 					return 0, os.ErrDeadlineExceeded
 				}
-				time.Sleep(wait)
+				if !h.sleepUntil(at) {
+					return 0, net.ErrClosed
+				}
 				continue
 			}
 			// Coalesce: drain as many *delivered* chunks as fit in p, so
@@ -188,6 +219,7 @@ func (h *pipeHalf) hardClose() {
 	h.trackQueue(-int64(h.buffered))
 	h.buffered = 0
 	h.mu.Unlock()
+	h.deadOnce.Do(func() { close(h.deadCh) })
 	signal(h.dataReady)
 	signal(h.spaceFree)
 }
@@ -221,6 +253,7 @@ type Conn struct {
 	wdeadline  time.Time
 	closedOnce sync.Once
 	closed     atomic.Bool
+	dropped    atomic.Bool // torn down by Abort (fault injection / reset)
 	peer       *Conn
 }
 
@@ -286,12 +319,32 @@ func (c *Conn) CloseWrite() error {
 // to kill in-flight transfers.
 func (c *Conn) Abort() {
 	c.closed.Store(true)
+	c.dropped.Store(true)
 	c.wr.hardClose()
 	c.rd.hardClose()
 	if c.peer != nil {
+		c.peer.dropped.Store(true)
 		c.peer.rd.hardClose()
 		c.peer.wr.hardClose()
 	}
+}
+
+// WireStatus reports simulated wire-level health for this connection:
+// the path RTT, the loss model's cumulative retransmitted segments for
+// the send direction, whether the connection was reset by fault
+// injection (drops), and a congestion-window estimate in segments
+// derived from the effective stream cap. It implements the WireStatuser
+// contract the stream-telemetry plane (internal/obs/streamstats) probes
+// for, so simulated transfers produce the same per-stream wire series
+// real TCP sockets do via TCP_INFO.
+func (c *Conn) WireStatus() (rtt time.Duration, retransmits, drops, cwnd int64, ok bool) {
+	rtt = 2 * c.wr.shaper.propagation()
+	retransmits = c.wr.shaper.retransmitted()
+	cwnd = c.wr.shaper.cwndSegments()
+	if c.dropped.Load() {
+		drops = 1
+	}
+	return rtt, retransmits, drops, cwnd, true
 }
 
 // LocalAddr implements net.Conn.

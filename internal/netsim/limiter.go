@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,11 +25,14 @@ func newLimiter(rate float64) *limiter {
 
 // reserve books n bytes and returns their transmission-finish time.
 func (l *limiter) reserve(n int, now time.Time) time.Time {
-	if l == nil || l.rate <= 0 {
+	if l == nil {
 		return now
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.rate <= 0 {
+		return now
+	}
 	start := l.free
 	if start.Before(now) {
 		start = now
@@ -36,6 +40,30 @@ func (l *limiter) reserve(n int, now time.Time) time.Time {
 	dur := time.Duration(float64(n) / l.rate * float64(time.Second))
 	l.free = start.Add(dur)
 	return l.free
+}
+
+// setRate changes the limiter's rate and re-prices the outstanding
+// backlog at it: the bytes still "on the wire" (free minus now, valued at
+// the old rate) are rebooked at the new rate. Without this, a bandwidth
+// collapse that queued minutes of virtual transmission would keep the
+// cursor in the far future after the link heals, and new reservations —
+// serialized behind it — would see a dead link long after recovery.
+func (l *limiter) setRate(rate float64) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	if l.rate > 0 && l.free.After(now) {
+		if rate <= 0 {
+			l.free = now
+		} else {
+			backlog := l.free.Sub(now).Seconds() * l.rate // bytes not yet sent
+			l.free = now.Add(time.Duration(backlog / rate * float64(time.Second)))
+		}
+	}
+	l.rate = rate
+	l.mu.Unlock()
 }
 
 // linkStats holds the observability counters of one link. All fields are
@@ -46,6 +74,7 @@ type linkStats struct {
 	maxQueue atomic.Int64 // high watermark of queue
 	drops    atomic.Int64 // conns aborted by cuts + dials refused while down
 	conns    atomic.Int64 // connections established
+	retrans  atomic.Int64 // segments retransmitted (expected value under Loss)
 }
 
 // addQueue moves the queue depth by n and maintains the high watermark.
@@ -73,17 +102,22 @@ type LinkStats struct {
 	Drops int64
 	// Conns is how many connections have been established over the link.
 	Conns int64
+	// Retransmits is the summed retransmitted-segment count across every
+	// stream that crossed the link: the loss model's expected value
+	// (segments x loss), accumulated deterministically at write time. It
+	// equals the sum of the per-connection WireStatus counters.
+	Retransmits int64
 }
 
 // link holds the shared shaping state for one host pair.
 type link struct {
-	params LinkParams
 	shared *limiter // aggregate bandwidth shared by all streams
 	stats  linkStats
 
-	mu    sync.Mutex
-	down  bool
-	conns []*Conn // live connections crossing this link
+	mu     sync.Mutex
+	params LinkParams
+	down   bool
+	conns  []*Conn // live connections crossing this link
 }
 
 func newLink(p LinkParams) *link {
@@ -92,6 +126,32 @@ func newLink(p LinkParams) *link {
 		l.shared = newLimiter(p.Bandwidth)
 	}
 	return l
+}
+
+// getParams returns the link's current parameters.
+func (l *link) getParams() LinkParams {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.params
+}
+
+// updateParams reshapes the link in place: live connections see the new
+// bandwidth, RTT, loss rate, and window on their very next write. This is
+// what makes SetLink a usable mid-transfer fault/loss injector.
+func (l *link) updateParams(p LinkParams) {
+	l.mu.Lock()
+	l.params = p
+	if p.Bandwidth > 0 && l.shared == nil {
+		l.shared = newLimiter(p.Bandwidth)
+	} else if l.shared != nil {
+		l.shared.setRate(p.Bandwidth)
+	}
+	conns := append([]*Conn(nil), l.conns...)
+	l.mu.Unlock()
+	for _, c := range conns {
+		c.wr.shaper.setParams(p)
+		c.rd.shaper.setParams(p)
+	}
 }
 
 // register tracks a connection for fault injection; it returns false when
@@ -137,11 +197,12 @@ func (l *link) cut() {
 // statsSnapshot reads the counters coherently enough for reporting.
 func (l *link) statsSnapshot() LinkStats {
 	return LinkStats{
-		Bytes:      l.stats.bytes.Load(),
-		QueueDepth: l.stats.queue.Load(),
-		MaxQueue:   l.stats.maxQueue.Load(),
-		Drops:      l.stats.drops.Load(),
-		Conns:      l.stats.conns.Load(),
+		Bytes:       l.stats.bytes.Load(),
+		QueueDepth:  l.stats.queue.Load(),
+		MaxQueue:    l.stats.maxQueue.Load(),
+		Drops:       l.stats.drops.Load(),
+		Conns:       l.stats.conns.Load(),
+		Retransmits: l.stats.retrans.Load(),
 	}
 }
 
@@ -162,34 +223,133 @@ func (l *link) isDown() bool {
 // crossing this link. TCP streams are capped at the window/Mathis bound;
 // UDT (rate-based) streams see only the shared link bandwidth.
 func (l *link) newStreamShaper(tr Transport) *streamShaper {
-	s := &streamShaper{link: l, oneWay: l.params.RTT / 2}
-	if tr == TransportUDT {
-		return s
-	}
-	if cap := l.params.StreamCap(); cap > 0 && !isInf(cap) {
-		s.stream = newLimiter(cap)
-	}
+	p := l.getParams()
+	s := &streamShaper{link: l, tr: tr}
+	s.applyParams(p)
 	return s
 }
 
 func isInf(f float64) bool { return f > 1e30 }
 
-// streamShaper computes delivery times for one direction of one stream.
+// streamShaper computes delivery times for one direction of one stream,
+// and accounts the loss model's retransmitted segments for that
+// direction. Its parameters are mutable: the loss injector updates them
+// mid-connection through setParams.
 type streamShaper struct {
-	link   *link
-	stream *limiter
-	oneWay time.Duration
+	link *link
+	tr   Transport
+
+	mu      sync.Mutex
+	stream  *limiter
+	oneWay  time.Duration
+	loss    float64
+	mss     int
+	credit  float64 // fractional retransmitted segments not yet counted
+	retrans int64   // cumulative retransmitted segments (this direction)
+}
+
+// applyParams installs the per-stream cap, propagation delay, and loss
+// model implied by p. Callers must not hold s.mu.
+func (s *streamShaper) applyParams(p LinkParams) {
+	cap := p.StreamCap()
+	s.mu.Lock()
+	s.oneWay = p.RTT / 2
+	s.loss = p.Loss
+	s.mss = p.mss()
+	if s.tr == TransportUDT {
+		// Rate-based transport: no per-stream window or loss cap.
+		s.stream = nil
+	} else if cap > 0 && !isInf(cap) {
+		if s.stream == nil {
+			s.stream = newLimiter(cap)
+		} else {
+			s.stream.setRate(cap)
+		}
+	} else {
+		s.stream = nil
+	}
+	s.mu.Unlock()
+}
+
+// setParams is applyParams plus nil-safety for conns without shapers.
+func (s *streamShaper) setParams(p LinkParams) {
+	if s == nil {
+		return
+	}
+	s.applyParams(p)
+}
+
+// propagation returns the current one-way latency.
+func (s *streamShaper) propagation() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.oneWay
+}
+
+// retransmitted returns this direction's cumulative retransmit count.
+func (s *streamShaper) retransmitted() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retrans
+}
+
+// cwndSegments derives a congestion-window estimate in segments from the
+// current effective stream cap (rate * RTT / MSS) — the window TCP would
+// need to sustain that rate on this path.
+func (s *streamShaper) cwndSegments() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stream == nil || s.oneWay <= 0 {
+		return 0
+	}
+	s.stream.mu.Lock()
+	rate := s.stream.rate
+	s.stream.mu.Unlock()
+	if rate <= 0 || s.mss <= 0 {
+		return 0
+	}
+	rtt := 2 * s.oneWay
+	return int64(math.Ceil(rate * rtt.Seconds() / float64(s.mss)))
 }
 
 // deliveryTime reserves n bytes on both the stream and the shared link and
-// returns when the last byte arrives at the receiver.
+// returns when the last byte arrives at the receiver. It also accrues the
+// loss model's expected retransmitted segments (segments x loss) into the
+// per-direction and per-link counters; the throughput cost of those
+// retransmissions is already captured by the Mathis bound, so they are
+// pure accounting here.
 func (s *streamShaper) deliveryTime(n int, now time.Time) time.Time {
+	s.mu.Lock()
+	stream := s.stream
+	oneWay := s.oneWay
+	if s.loss > 0 && s.mss > 0 && n > 0 {
+		segs := (n + s.mss - 1) / s.mss
+		s.credit += float64(segs) * s.loss
+		if k := int64(s.credit); k > 0 {
+			s.credit -= float64(k)
+			s.retrans += k
+			if s.link != nil {
+				s.link.stats.retrans.Add(k)
+			}
+		}
+	}
+	s.mu.Unlock()
+
 	t := now
 	if s.link != nil {
 		s.link.stats.bytes.Add(int64(n))
 	}
-	if s.stream != nil {
-		if ft := s.stream.reserve(n, now); ft.After(t) {
+	if stream != nil {
+		if ft := stream.reserve(n, now); ft.After(t) {
 			t = ft
 		}
 	}
@@ -198,5 +358,5 @@ func (s *streamShaper) deliveryTime(n int, now time.Time) time.Time {
 			t = ft
 		}
 	}
-	return t.Add(s.oneWay)
+	return t.Add(oneWay)
 }

@@ -126,10 +126,20 @@ func (n *Network) SetDefaultLink(p LinkParams) {
 }
 
 // SetLink configures the link between hosts a and b (in both directions).
+// If the link already exists it is reshaped in place: live connections see
+// the new bandwidth, RTT, loss, and window on their next write, which makes
+// repeated SetLink calls a mid-transfer degradation injector (e.g. spiking
+// Loss to starve a stream and trip the stall watchdog).
 func (n *Network) SetLink(a, b string, p LinkParams) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.links[keyFor(a, b)] = newLink(p)
+	lk, ok := n.links[keyFor(a, b)]
+	if !ok {
+		n.links[keyFor(a, b)] = newLink(p)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
+	lk.updateParams(p)
 }
 
 // Host returns the named host, creating it on first use.
@@ -231,6 +241,7 @@ func (n *Network) ReportMetrics(reg *obs.Registry) {
 		reg.Gauge(obs.Name("netsim.link.queue_max", e.name)).Set(st.MaxQueue)
 		reg.Gauge(obs.Name("netsim.link.drops", e.name)).Set(st.Drops)
 		reg.Gauge(obs.Name("netsim.link.conns", e.name)).Set(st.Conns)
+		reg.Gauge(obs.Name("netsim.link.retransmits", e.name)).Set(st.Retransmits)
 	}
 }
 
@@ -334,8 +345,8 @@ func (h *Host) dialContext(ctx context.Context, target string, tr Transport) (ne
 		return nil, &net.OpError{Op: "dial", Net: "sim", Addr: addr{thost, tport}, Err: errHostUnreachable}
 	}
 	// TCP connection establishment costs one RTT before data can flow.
-	if lk.params.RTT > 0 {
-		t := time.NewTimer(lk.params.RTT)
+	if rtt := lk.getParams().RTT; rtt > 0 {
+		t := time.NewTimer(rtt)
 		select {
 		case <-t.C:
 		case <-ctx.Done():

@@ -33,14 +33,24 @@ const (
 	TransferAbort    = "transfer.abort"
 	TransferRetry    = "transfer.retry"
 	Checkpoint       = "transfer.checkpoint"
-	TaskStart        = "task.start"
-	TaskComplete     = "task.complete"
-	EndpointInstall  = "endpoint.install"
+	// TransferWire is the scheduler's per-attempt wire-evidence record:
+	// retransmit totals, worst inter-stream imbalance, and stall-abort
+	// count aggregated from the stream-telemetry plane for one attempt.
+	TransferWire    = "transfer.wire"
+	TaskStart       = "task.start"
+	TaskComplete    = "task.complete"
+	EndpointInstall = "endpoint.install"
 	// AlertFiring/AlertResolved record SLO alert transitions from the
 	// tsdb alert engine, so firings live in the same audit stream as the
 	// lifecycle events that explain them.
 	AlertFiring   = "alert.firing"
 	AlertResolved = "alert.resolved"
+	// StreamStalled/StreamRecovered record the stream-stall watchdog's
+	// transitions (internal/obs/streamstats): a data stream with no
+	// progress past the stall window, and its later recovery (renewed
+	// progress, or the transfer ending).
+	StreamStalled   = "stream.stalled"
+	StreamRecovered = "stream.recovered"
 )
 
 // Event is one recorded occurrence. Seq increases monotonically per log

@@ -1,0 +1,61 @@
+package streamstats
+
+import (
+	"net"
+	"sync"
+
+	"gridftp.dev/instant/internal/xio"
+)
+
+// Driver is the XIO face of the stream-telemetry plane: an
+// instrumentation driver that can sit anywhere in a data channel stack
+// (e.g. [tcp, streamstats, tls]) and registers every connection it wraps
+// as one stream of a shared Transfer. GridFTP's DTP uses Transfer.Wrap
+// directly because it knows each connection's stream index; generic
+// stacks use this driver and get accept/dial-order indexes.
+type Driver struct {
+	// Registry receives the transfer; nil disables instrumentation
+	// (connections pass through unwrapped).
+	Registry *Registry
+	// Label names the transfer the wrapped connections belong to; one
+	// is generated when empty.
+	Label string
+
+	mu       sync.Mutex
+	transfer *Transfer
+	next     int
+}
+
+// Name implements xio.Driver.
+func (d *Driver) Name() string { return "streamstats" }
+
+// WrapClient implements xio.Driver.
+func (d *Driver) WrapClient(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+// WrapServer implements xio.Driver.
+func (d *Driver) WrapServer(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
+
+func (d *Driver) wrap(conn net.Conn) net.Conn {
+	if d.Registry == nil {
+		return conn
+	}
+	d.mu.Lock()
+	if d.transfer == nil {
+		d.transfer = d.Registry.Begin(d.Label, "xio")
+	}
+	t, i := d.transfer, d.next
+	d.next++
+	d.mu.Unlock()
+	return t.Wrap(i, conn, conn)
+}
+
+// Transfer returns the driver's transfer record (nil until the first
+// connection is wrapped), so callers can mark it Done.
+func (d *Driver) Transfer() *Transfer {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.transfer
+}
+
+// Interface conformance.
+var _ xio.Driver = (*Driver)(nil)

@@ -1,0 +1,43 @@
+//go:build linux
+
+package streamstats
+
+import (
+	"net"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// sockWireInfo polls TCP_INFO on a real Linux TCP socket through its
+// syscall.RawConn, mapping the kernel's view of the connection — smoothed
+// RTT, total retransmitted segments, and the congestion window — into a
+// WireInfo. Non-TCP connections (and sockets whose getsockopt fails)
+// report ok=false so the caller just skips the wire columns.
+func sockWireInfo(c net.Conn) (WireInfo, bool) {
+	sc, ok := c.(syscall.Conn)
+	if !ok {
+		return WireInfo{}, false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return WireInfo{}, false
+	}
+	var ti syscall.TCPInfo
+	got := false
+	ctlErr := raw.Control(func(fd uintptr) {
+		size := uint32(unsafe.Sizeof(ti))
+		_, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, fd,
+			uintptr(syscall.IPPROTO_TCP), uintptr(syscall.TCP_INFO),
+			uintptr(unsafe.Pointer(&ti)), uintptr(unsafe.Pointer(&size)), 0)
+		got = errno == 0
+	})
+	if ctlErr != nil || !got {
+		return WireInfo{}, false
+	}
+	return WireInfo{
+		RTT:          time.Duration(ti.Rtt) * time.Microsecond,
+		Retransmits:  int64(ti.Total_retrans),
+		CwndSegments: int64(ti.Snd_cwnd),
+	}, true
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package streamstats
+
+import "net"
+
+// sockWireInfo is the non-Linux fallback: no TCP_INFO, so real sockets
+// produce byte/throughput telemetry but no wire columns.
+func sockWireInfo(net.Conn) (WireInfo, bool) {
+	return WireInfo{}, false
+}

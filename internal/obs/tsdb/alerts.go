@@ -168,6 +168,27 @@ func DefaultRules() []Rule {
 			For: 3 * time.Second, Window: 10 * time.Second, Severity: "info",
 		},
 		{
+			// The stream-stall watchdog (internal/obs/streamstats): one or
+			// more data streams past the no-progress window. The series is
+			// written by the streamstats poller, so it reflects wire-level
+			// reality, not queue state — a firing alert means bytes stopped
+			// moving on a live transfer.
+			Name: "stream-stall", Series: "gridftp.streams.stalled",
+			Kind: KindThreshold, Op: OpGreater, Value: 0,
+			For: time.Second, Severity: "page",
+		},
+		{
+			// Inter-stream imbalance: the worst max/min per-stream EWMA
+			// throughput ratio across active transfers. Parallel streams
+			// should split a path roughly evenly; a sustained 4x skew means
+			// one stream is starved (lossy path, unfair shaping) and the
+			// transfer is running at a fraction of its negotiated
+			// parallelism.
+			Name: "stream-imbalance", Series: "gridftp.streams.imbalance",
+			Kind: KindThreshold, Op: OpGreater, Value: 4.0,
+			For: 5 * time.Second, Severity: "warn",
+		},
+		{
 			// Continuous-profiler attribution: this window's allocation
 			// rate a multiple of the previous window's. The profiler holds
 			// the ratio for a whole capture window, so For spans at least

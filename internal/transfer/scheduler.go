@@ -136,11 +136,14 @@ func (p *sessionPair) measureRTT() time.Duration {
 }
 
 // dialPair opens one worker's session pair: dial both endpoints,
-// delegate, join the caller's trace, set the marker cadence, and — for
-// cross-CA endpoint pairs — install the source credential on the
-// destination via DCSC once per session instead of once per file.
-func (s *Service) dialPair(srcEP, dstEP *Endpoint, srcProxy, dstProxy *gsi.Credential, sc obs.SpanContext, crossCA bool) (*sessionPair, error) {
-	dialOpts := gridftp.DialOptions{Obs: s.cfg.Obs}
+// delegate, join the caller's trace, set the marker cadence, label both
+// sessions with the task id for stream telemetry (SITE TASK — the
+// destination publishes its streams as "<task>", the source as
+// "<task>-src"), and — for cross-CA endpoint pairs — install the source
+// credential on the destination via DCSC once per session instead of
+// once per file.
+func (s *Service) dialPair(srcEP, dstEP *Endpoint, srcProxy, dstProxy *gsi.Credential, sc obs.SpanContext, crossCA bool, taskLabel string) (*sessionPair, error) {
+	dialOpts := gridftp.DialOptions{Obs: s.cfg.Obs, Streams: s.cfg.Streams}
 	src, err := gridftp.DialWithOptions(s.host, srcEP.GridFTPAddr, srcProxy, srcEP.Trust, dialOpts)
 	if err != nil {
 		return nil, err
@@ -159,6 +162,20 @@ func (s *Service) dialPair(srcEP, dstEP *Endpoint, srcProxy, dstProxy *gsi.Crede
 		func() error { _, err := src.PropagateTrace(sc); return err },
 		func() error { _, err := dst.PropagateTrace(sc); return err },
 		func() error { return dst.SetMarkerInterval(s.cfg.MarkerInterval) },
+		// Label both legs for the stream-telemetry plane. SetTask
+		// tolerates endpoints without the SITE TASK extension.
+		func() error {
+			if taskLabel == "" {
+				return nil
+			}
+			return src.SetTask(taskLabel)
+		},
+		func() error {
+			if taskLabel == "" {
+				return nil
+			}
+			return dst.SetTask(taskLabel)
+		},
 	} {
 		if err := step(); err != nil {
 			pair.Close()
@@ -533,7 +550,7 @@ func (s *Service) schedule(task *Task, plan *transferPlan, primary *sessionPair,
 			pair := primary
 			if w != 0 {
 				var err error
-				pair, err = s.dialPair(srcEP, dstEP, srcProxy, dstProxy, wspan.Context(), crossCA)
+				pair, err = s.dialPair(srcEP, dstEP, srcProxy, dstProxy, wspan.Context(), crossCA, task.ID)
 				if err != nil {
 					wspan.SetError(err)
 					fail(err)

@@ -20,6 +20,7 @@ import (
 	"gridftp.dev/instant/internal/oauth"
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
+	"gridftp.dev/instant/internal/obs/streamstats"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -116,6 +117,13 @@ type Config struct {
 	// (activation → control → data, plus per-worker spans when a task
 	// fans out). Nil disables observability.
 	Obs *obs.Obs
+	// Streams is the stream-telemetry registry the scheduler consults for
+	// per-attempt wire evidence (retransmits, inter-stream imbalance,
+	// stall aborts). The scheduler labels every worker session pair with
+	// the task id via SITE TASK so endpoints sharing this registry — the
+	// in-process simulation shape — publish their data streams under it.
+	// Nil disables wire-evidence records.
+	Streams *streamstats.Registry
 }
 
 // Service is the hosted transfer service.
@@ -387,6 +395,7 @@ func (s *Service) run(task *Task) {
 	for attempt := 1; attempt <= s.cfg.RetryLimit; attempt++ {
 		s.update(task, func(t *Task) { t.Attempts = attempt })
 		err := s.attempt(task, &plan, span)
+		s.recordWireEvidence(task, attempt, span.TraceID.String())
 		if err == nil {
 			s.update(task, func(t *Task) {
 				t.Status = TaskSucceeded
@@ -434,6 +443,36 @@ func (s *Service) run(task *Task) {
 	ev.Append(eventlog.TaskComplete, "component", "transfer-service",
 		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error(),
 		"trace", span.TraceID.String())
+}
+
+// recordWireEvidence closes out one attempt against the stream-telemetry
+// plane: it aggregates every tracked transfer labeled with the task id
+// (both the "<task>" destination and "<task>-src" source legs, installed
+// on the endpoints via SITE TASK) and records the attempt's retransmit
+// total, worst inter-stream imbalance, and stall-abort count as a
+// transfer.wire event plus per-task series. This is the wire-level
+// counterpart of the 112 PERF progress view: PERF says how far the
+// attempt got, the wire evidence says why it went no faster.
+func (s *Service) recordWireEvidence(task *Task, attempt int, traceID string) {
+	ws, ok := s.cfg.Streams.WireSummary(task.ID)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	sink := s.cfg.Obs.TimeSeries()
+	prefix := "transfer.task." + task.ID
+	sink.Observe(prefix+".imbalance", now, ws.Imbalance)
+	sink.Observe(prefix+".retransmits", now, float64(ws.Retransmits))
+	if ws.Retransmits > 0 {
+		s.cfg.Obs.Registry().Counter("transfer.wire_retransmits").Add(ws.Retransmits)
+	}
+	if ws.Stalls > 0 {
+		s.cfg.Obs.Registry().Counter("transfer.stall_aborts").Add(int64(ws.Stalls))
+	}
+	s.cfg.Obs.EventLog().Append(eventlog.TransferWire,
+		"component", "transfer-service", "task", task.ID, "attempt", attempt,
+		"transfers", ws.Transfers, "retransmits", ws.Retransmits,
+		"imbalance", ws.Imbalance, "stalls", ws.Stalls, "trace", traceID)
 }
 
 // observeTask records the task duration on the aggregate histogram and on
@@ -502,7 +541,7 @@ func (s *Service) attempt(task *Task, planp **transferPlan, taskSpan *obs.Span) 
 	// for the whole session instead of once per file.
 	ctlSpan := taskSpan.Child("control")
 	crossCA := task.crossCA(srcEP, dstEP)
-	primary, err := s.dialPair(srcEP, dstEP, srcProxy, dstProxy, taskSpan.Context(), crossCA)
+	primary, err := s.dialPair(srcEP, dstEP, srcProxy, dstProxy, taskSpan.Context(), crossCA, task.ID)
 	if err != nil {
 		ctlSpan.SetError(err)
 		ctlSpan.End()

@@ -46,6 +46,8 @@ func buildWorld(t *testing.T, cfg Config, withOAuth bool) *world {
 			WithOAuth:      oauthOn,
 			MarkerInterval: 20 * time.Millisecond,
 			DataTimeout:    2 * time.Second,
+			Obs:            cfg.Obs,
+			Streams:        cfg.Streams,
 		})
 		if err != nil {
 			t.Fatal(err)

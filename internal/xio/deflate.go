@@ -1,0 +1,196 @@
+package xio
+
+// The deflate driver: DEFLATE compression for MODE E data channels. A
+// flate.Writer carries ~1.2 MB of window and hash-chain state, so minting
+// one per data connection would dominate the allocation profile of
+// lots-of-small-files workloads where channel caching already amortizes
+// connection setup; writers and readers are therefore drawn from
+// sync.Pools keyed by compression level and returned when the connection
+// closes. Each Write is flushed as its own DEFLATE block so the receiver
+// can decode a MODE E block header without waiting for more payload.
+
+import (
+	"compress/flate"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// DeflateDriver compresses the connection payload with DEFLATE. Both ends
+// of a data channel must stack it (GridFTP negotiates this with
+// "OPTS RETR Deflate=1;") — the wire carries one continuous DEFLATE
+// stream per direction, spanning pooled-channel reuse across transfers.
+type DeflateDriver struct {
+	// Level is the flate compression level (flate.BestSpeed 1 ..
+	// flate.BestCompression 9, flate.HuffmanOnly -2). 0 selects
+	// flate.DefaultCompression.
+	Level int
+	// DisablePool bypasses the writer/reader pools, paying a fresh
+	// flate.Writer per connection — the ablation the pooling benchmarks
+	// compare against.
+	DisablePool bool
+}
+
+// Name implements Driver.
+func (d *DeflateDriver) Name() string { return "deflate" }
+
+// WrapClient implements Driver.
+func (d *DeflateDriver) WrapClient(conn net.Conn) (net.Conn, error) { return d.Wrap(conn), nil }
+
+// WrapServer implements Driver.
+func (d *DeflateDriver) WrapServer(conn net.Conn) (net.Conn, error) { return d.Wrap(conn), nil }
+
+// Wrap layers DEFLATE over conn. The compressor and decompressor are
+// acquired lazily on first Write/Read, so a pooled-but-unused channel
+// costs nothing.
+func (d *DeflateDriver) Wrap(conn net.Conn) net.Conn {
+	return &deflateConn{Conn: conn, drv: d}
+}
+
+func (d *DeflateDriver) level() int {
+	if d.Level == 0 {
+		return flate.DefaultCompression
+	}
+	return d.Level
+}
+
+// flateWriterPools pools *flate.Writer by compression level (a writer can
+// only be Reset at the level it was created with). flateReaders pools
+// decompressors, which are level-independent.
+var (
+	flateWriterPools sync.Map // int → *sync.Pool of *flate.Writer
+	flateReaders     = sync.Pool{New: func() any { return flate.NewReader(nil) }}
+)
+
+func writerPool(level int) *sync.Pool {
+	if p, ok := flateWriterPools.Load(level); ok {
+		return p.(*sync.Pool)
+	}
+	p, _ := flateWriterPools.LoadOrStore(level, &sync.Pool{
+		New: func() any {
+			w, err := flate.NewWriter(nil, level)
+			if err != nil {
+				// Levels are validated below before the pool is consulted.
+				panic(fmt.Sprintf("xio: flate level %d: %v", level, err))
+			}
+			return w
+		},
+	})
+	return p.(*sync.Pool)
+}
+
+type deflateConn struct {
+	net.Conn
+	drv *DeflateDriver
+
+	wmu sync.Mutex
+	fw  *flate.Writer
+
+	rmu sync.Mutex
+	fr  io.ReadCloser
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func (c *deflateConn) writer() (*flate.Writer, error) {
+	if c.fw != nil {
+		return c.fw, nil
+	}
+	level := c.drv.level()
+	if c.drv.DisablePool {
+		fw, err := flate.NewWriter(c.Conn, level)
+		if err != nil {
+			return nil, fmt.Errorf("xio: deflate: %w", err)
+		}
+		c.fw = fw
+		return c.fw, nil
+	}
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		return nil, fmt.Errorf("xio: deflate: invalid level %d", level)
+	}
+	fw := writerPool(level).Get().(*flate.Writer)
+	fw.Reset(c.Conn)
+	c.fw = fw
+	return c.fw, nil
+}
+
+func (c *deflateConn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	fw, err := c.writer()
+	if err != nil {
+		return 0, err
+	}
+	if _, err := fw.Write(p); err != nil {
+		return 0, err
+	}
+	// Flush per Write: the peer's decompressor must be able to yield these
+	// bytes now — a MODE E block header held back in the compressor would
+	// deadlock the receiver.
+	if err := fw.Flush(); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+func (c *deflateConn) Read(p []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if c.fr == nil {
+		if c.drv.DisablePool {
+			c.fr = flate.NewReader(c.Conn)
+		} else {
+			fr := flateReaders.Get().(io.ReadCloser)
+			fr.(flate.Resetter).Reset(c.Conn, nil)
+			c.fr = fr
+		}
+	}
+	return c.fr.Read(p)
+}
+
+// CloseWrite terminates this direction's DEFLATE stream and forwards the
+// half-close when the transport supports it (stream-mode EOF).
+func (c *deflateConn) CloseWrite() error {
+	c.wmu.Lock()
+	if c.fw != nil {
+		c.fw.Close()
+		if !c.drv.DisablePool {
+			writerPool(c.drv.level()).Put(c.fw)
+		}
+		c.fw = nil
+	}
+	c.wmu.Unlock()
+	if hc, ok := c.Conn.(interface{ CloseWrite() error }); ok {
+		return hc.CloseWrite()
+	}
+	return nil
+}
+
+func (c *deflateConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.wmu.Lock()
+		if c.fw != nil {
+			// Flush rather than Close: Close emits a final-block marker,
+			// and a pooled writer reused on another connection must not
+			// have ended its stream.
+			c.fw.Flush()
+			if !c.drv.DisablePool {
+				writerPool(c.drv.level()).Put(c.fw)
+			}
+			c.fw = nil
+		}
+		c.wmu.Unlock()
+		c.rmu.Lock()
+		if c.fr != nil {
+			if !c.drv.DisablePool {
+				flateReaders.Put(c.fr)
+			}
+			c.fr = nil
+		}
+		c.rmu.Unlock()
+		c.closeErr = c.Conn.Close()
+	})
+	return c.closeErr
+}

@@ -1,0 +1,115 @@
+package xio
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDeflateRoundTrip(t *testing.T) {
+	for _, pooled := range []bool{true, false} {
+		a, b := net.Pipe()
+		d := &DeflateDriver{DisablePool: !pooled}
+		ca, _ := d.WrapClient(a)
+		cb, _ := d.WrapServer(b)
+
+		payload := bytes.Repeat([]byte("instant gridftp deflate driver "), 4096)
+		go func() {
+			for off := 0; off < len(payload); off += 8192 {
+				end := off + 8192
+				if end > len(payload) {
+					end = len(payload)
+				}
+				if _, err := ca.Write(payload[off:end]); err != nil {
+					return
+				}
+			}
+			ca.Close()
+		}()
+
+		got := make([]byte, 0, len(payload))
+		buf := make([]byte, 4096)
+		for len(got) < len(payload) {
+			n, err := cb.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		cb.Close()
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("pooled=%v: round trip corrupted: got %d bytes, want %d", pooled, len(got), len(payload))
+		}
+	}
+}
+
+// TestDeflateStreamSurvivesReuse models channel caching: two transfers
+// over the same wrapped connection pair, with Writes interleaved — the
+// DEFLATE stream must stay decodable across the reuse boundary.
+func TestDeflateStreamSurvivesReuse(t *testing.T) {
+	a, b := net.Pipe()
+	d := &DeflateDriver{}
+	ca, _ := d.WrapClient(a)
+	cb, _ := d.WrapServer(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	for round := 0; round < 3; round++ {
+		msg := bytes.Repeat([]byte{byte('A' + round)}, 1000)
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := ca.Write(msg)
+			errCh <- err
+		}()
+		got := make([]byte, 0, len(msg))
+		buf := make([]byte, 512)
+		for len(got) < len(msg) {
+			cb.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, err := cb.Read(buf)
+			got = append(got, buf[:n]...)
+			if err != nil {
+				t.Fatalf("round %d: read: %v", round, err)
+			}
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("round %d: write: %v", round, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("round %d corrupted", round)
+		}
+	}
+}
+
+// discardConn is a write-only net.Conn for writer-path benchmarks.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+func (discardConn) Close() error                { return nil }
+func (discardConn) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardConn) SetDeadline(time.Time) error { return nil }
+func (discardConn) LocalAddr() net.Addr         { return nil }
+func (discardConn) RemoteAddr() net.Addr        { return nil }
+
+// The pair below records what writer pooling buys per data connection: a
+// fresh flate.Writer carries ~1.2 MB of window/hash state, so the
+// unpooled variant's allocs/op and B/op are dominated by compressor
+// construction while the pooled variant reuses it across connections —
+// the lots-of-small-files shape, where channel turnover is the workload.
+func benchDeflateConnTurnover(b *testing.B, disablePool bool) {
+	d := &DeflateDriver{DisablePool: disablePool}
+	block := bytes.Repeat([]byte("gridftp"), 1024) // 7 KiB, compressible
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conn := d.Wrap(discardConn{})
+		if _, err := conn.Write(block); err != nil {
+			b.Fatal(err)
+		}
+		conn.Close()
+	}
+}
+
+func BenchmarkDeflateConnPooled(b *testing.B)   { benchDeflateConnTurnover(b, false) }
+func BenchmarkDeflateConnUnpooled(b *testing.B) { benchDeflateConnTurnover(b, true) }

@@ -2,7 +2,7 @@
 # bench.sh — run the root benchmark suite once and record the numbers as
 # the repo's benchmark trajectory file.
 #
-# Usage: ./scripts/bench.sh [output.json]    (default: BENCH_7.json)
+# Usage: ./scripts/bench.sh [output.json]    (default: BENCH_8.json)
 #
 # Runs `go test -bench . -benchtime=1x -benchmem` at the repo root and
 # writes a JSON object mapping each benchmark (including sub-benchmarks)
@@ -23,7 +23,7 @@
 # documented in README.md ("Benchmark trajectory").
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT INT TERM
 

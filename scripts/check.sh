@@ -26,15 +26,17 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs tree, collector, profile, fleet, admin, gridftp, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, collector, streamstats, profile, fleet, admin, gridftp, xio, transfer, netsim, usagestats)"
 go test -race "$@" \
 	./internal/obs/... \
 	./internal/obs/collector/ \
 	./internal/obs/tsdb/ \
+	./internal/obs/streamstats/ \
 	./internal/obs/profile/ \
 	./internal/obs/fleet/ \
 	./internal/admin/ \
 	./internal/gridftp/ \
+	./internal/xio/ \
 	./internal/transfer/ \
 	./internal/netsim/ \
 	./internal/usagestats/
