@@ -320,6 +320,23 @@ func (f *memFile) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
+// Preallocate reserves capacity for size bytes without changing the
+// logical length, so a store whose size was announced up front (ALLO)
+// lands block by block with zero grow-copies.
+func (f *memFile) Preallocate(size int64) {
+	if size <= 0 {
+		return
+	}
+	f.data.mu.Lock()
+	defer f.data.mu.Unlock()
+	if size <= int64(cap(f.data.data)) {
+		return
+	}
+	grown := make([]byte, len(f.data.data), size)
+	copy(grown, f.data.data)
+	f.data.data = grown
+}
+
 // Size implements File.
 func (f *memFile) Size() (int64, error) {
 	f.data.mu.RLock()

@@ -182,9 +182,11 @@ func certChainWithRoot(cred *gsi.Credential, root *x509.Certificate) *gsi.Creden
 			return cred
 		}
 	}
-	cp := *cred
-	cp.Chain = append(append([]*x509.Certificate{}, cred.Chain...), root)
-	return &cp
+	return &gsi.Credential{
+		Cert:  cred.Cert,
+		Key:   cred.Key,
+		Chain: append(append([]*x509.Certificate{}, cred.Chain...), root),
+	}
 }
 
 // newMemWithUser builds an in-memory store with one provisioned user.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -271,13 +272,31 @@ func (c *Client) SetParallelism(n int) error {
 	return nil
 }
 
-// SetBlockSize negotiates the MODE E block size.
+// SetBlockSize negotiates the MODE E block size. Renegotiating the value
+// already in effect is a no-op (the autotuner calls this per transfer).
 func (c *Client) SetBlockSize(n int) error {
+	if n == c.spec.BlockSize {
+		return nil
+	}
 	if _, err := c.cmdExpect("OPTS", fmt.Sprintf("RETR BlockSize=%d;", n), ftp.CodeOK); err != nil {
 		return err
 	}
 	c.spec.BlockSize = n
 	return nil
+}
+
+// Allocate announces the size of the next upload (ALLO, RFC 959) so the
+// server can preallocate the destination file. Best-effort: a server that
+// refuses ALLO costs nothing but the round trip.
+func (c *Client) Allocate(size int64) {
+	if size <= 0 {
+		return
+	}
+	c.countCommand("ALLO")
+	if err := c.ctrl.Cmd("ALLO", "%d", size); err != nil {
+		return
+	}
+	c.ctrl.ReadFinalReply(nil)
 }
 
 // SetMarkerInterval asks the receiving server to emit restart markers
@@ -594,6 +613,24 @@ func (c *Client) retire(chans []*dataChannel, ok bool) {
 	}
 }
 
+// parseOpeningSize extracts the announced byte count from a 150 reply of
+// the form "Opening data connection for <path> (N bytes)"; 0 when absent.
+func parseOpeningSize(r ftp.Reply) int64 {
+	if r.Code != ftp.CodeFileStatusOK || len(r.Lines) == 0 {
+		return 0
+	}
+	text := r.Lines[0]
+	open := strings.LastIndexByte(text, '(')
+	if open < 0 || !strings.HasSuffix(text, " bytes)") {
+		return 0
+	}
+	n, err := strconv.ParseInt(text[open+1:len(text)-len(" bytes)")], 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
 // handlePreliminary dispatches 1xx replies that arrive during a transfer:
 // 111 restart markers (returns the parsed ranges) and 112 performance
 // markers (feeds the perf callback and the client metrics registry).
@@ -727,6 +764,9 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 
 	start := time.Now()
 	c.resetPerf()
+	// Tell the server how big the destination will be so its storage
+	// preallocates once instead of grow-copying per block.
+	c.Allocate(size)
 	var lastMarkers []Range
 	if c.spec.Mode == ModeStream {
 		c.flushPools()
@@ -746,7 +786,7 @@ func (c *Client) Put(path string, src dsi.File) (*TransferStats, error) {
 		if len(restart) == 1 && restart[0].Start == 0 {
 			from = restart[0].End
 		}
-		sendErr := sendStream(chans[0].sec, src, from, size)
+		sendErr := sendStream(chans[0].sec, src, from, size, c.spec.BlockSize)
 		closeChannels(chans)
 		r, rerr := c.ctrl.ReadFinalReply(func(p ftp.Reply) {
 			if ranges := c.handlePreliminary(p); ranges != nil {
@@ -857,7 +897,7 @@ func (c *Client) retrieve(verb, params string, restart []Range, dst dsi.File) (*
 		if len(restart) == 1 && restart[0].Start == 0 {
 			offset = restart[0].End
 		}
-		n, recvErr := recvStream(sec, dst, offset)
+		n, recvErr := recvStream(sec, dst, offset, c.spec.BlockSize)
 		raw.Close()
 		r, rerr := c.ctrl.ReadFinalReply(nil)
 		if recvErr != nil {
@@ -965,11 +1005,18 @@ func (c *Client) recvWithReplies(dst dsi.File, received *RangeSet) (recvResult, 
 	}
 	replyCh := make(chan finalReply, 1)
 	go func() {
-		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) { c.handlePreliminary(p) })
+		r, err := c.ctrl.ReadFinalReply(func(p ftp.Reply) {
+			// The sender's 150 announces the transfer size; preallocating
+			// the destination here spares the grow-copy per landed block.
+			if n := parseOpeningSize(p); n > 0 {
+				preallocate(dst, n)
+			}
+			c.handlePreliminary(p)
+		})
 		replyCh <- finalReply{r, err}
 	}()
 	resCh := make(chan recvResult, 1)
-	go func() { resCh <- recvModeE(accept, dst, received, nil, cancel) }()
+	go func() { resCh <- recvModeE(accept, dst, received, c.spec.BlockSize, nil, cancel) }()
 
 	var res recvResult
 	var fin finalReply

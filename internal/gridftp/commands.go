@@ -111,6 +111,8 @@ func (sess *session) dispatch(cmd ftp.Command) bool {
 		sess.handlePort(cmd.Params, true)
 	case "REST":
 		sess.handleRest(cmd.Params)
+	case "ALLO":
+		sess.handleAllo(cmd.Params)
 	case "RETR":
 		sess.handleRetr(cmd.Params, -1, -1)
 	case "ERET":
@@ -183,6 +185,24 @@ func (sess *session) handleMode(params string) {
 	default:
 		sess.reply(ftp.CodeParamNotImpl, "Unsupported mode")
 	}
+}
+
+// handleAllo records the size announced for the next STOR ("ALLO n",
+// RFC 959) so the storage layer can preallocate the destination file
+// instead of grow-copying it block by block.
+func (sess *session) handleAllo(params string) {
+	fields := strings.Fields(params)
+	if len(fields) == 0 {
+		sess.reply(ftp.CodeParamSyntaxError, "ALLO requires a size")
+		return
+	}
+	n, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil || n < 0 {
+		sess.reply(ftp.CodeParamSyntaxError, "Bad ALLO size")
+		return
+	}
+	sess.alloHint = n
+	sess.reply(ftp.CodeOK, "ALLO ok")
 }
 
 // handleOpts parses Globus-style "OPTS RETR Parallelism=n,n,n;" plus our

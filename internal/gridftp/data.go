@@ -530,7 +530,7 @@ func (sess *session) handleRetr(params string, off, length int64) {
 		if len(ranges) > 0 {
 			from = ranges[0].Start
 		}
-		sendErr = sendStream(chans[0].sec, f, from, size)
+		sendErr = sendStream(chans[0].sec, f, from, size, sess.spec.BlockSize)
 	}
 	if sendErr != nil {
 		closeChannels(chans)
@@ -572,6 +572,10 @@ func (sess *session) handleStor(params string) {
 		return
 	}
 	defer f.Close()
+	if hint := sess.alloHint; hint > 0 {
+		sess.alloHint = 0
+		preallocate(f, hint)
+	}
 
 	sess.cmdSpan.SetAttr("path", p)
 	start := time.Now()
@@ -590,7 +594,7 @@ func (sess *session) handleStor(params string) {
 		if len(restart) == 1 && restart[0].Start == 0 {
 			offset = restart[0].End
 		}
-		n, recvErr := recvStream(chans[0].sec, f, offset)
+		n, recvErr := recvStream(chans[0].sec, f, offset, sess.spec.BlockSize)
 		closeChannels(chans)
 		if recvErr != nil {
 			sess.observeTransfer(time.Since(start), false)
@@ -714,7 +718,7 @@ func (sess *session) handleStor(params string) {
 		defer close(perfDone)
 		perfEmitter(perf, sess.markerInterval(), sess.emitPerf, stop)
 	}()
-	res := recvModeE(accept, f, received, perf.add, cancelOnStall)
+	res := recvModeE(accept, f, received, sess.spec.BlockSize, perf.add, cancelOnStall)
 	if tracker.StallAborted() && res.Err != nil {
 		res.Err = fmt.Errorf("stalled stream aborted by watchdog: %w", res.Err)
 	}

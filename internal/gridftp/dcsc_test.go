@@ -228,7 +228,9 @@ func credWithRoot(t *testing.T, cred *gsi.Credential, ca *gsi.CA) *gsi.Credentia
 			return cred
 		}
 	}
-	cp := *cred
-	cp.Chain = append(append([]*x509.Certificate{}, cred.Chain...), ca.Certificate())
-	return &cp
+	return &gsi.Credential{
+		Cert:  cred.Cert,
+		Key:   cred.Key,
+		Chain: append(append([]*x509.Certificate{}, cred.Chain...), ca.Certificate()),
+	}
 }

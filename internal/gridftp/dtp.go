@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 	"time"
 
@@ -95,16 +96,18 @@ func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int, onBy
 		}
 	}()
 
+	pool := poolFor(blockSize)
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(conns))
 	for i, conn := range conns {
 		wg.Add(1)
 		go func(i int, conn net.Conn) {
 			defer wg.Done()
-			buf := make([]byte, blockSize)
+			buf := pool.Lease()
+			defer pool.Release(buf)
+			bw := newBlockWriter(conn, blockSize)
 			if i == 0 {
-				eof := &Block{Desc: DescEOF, Offset: uint64(len(conns))}
-				if err := WriteBlock(conn, eof); err != nil {
+				if err := bw.writeBlock(DescEOF, 0, uint64(len(conns)), nil); err != nil {
 					errCh <- fmt.Errorf("gridftp: send EOF block: %w", err)
 					return
 				}
@@ -115,8 +118,7 @@ func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int, onBy
 					errCh <- fmt.Errorf("gridftp: read at %d: %w", j.off, err)
 					return
 				}
-				b := &Block{Desc: DescRestartable, Count: uint64(j.n), Offset: uint64(j.off), Data: data}
-				if err := WriteBlock(conn, b); err != nil {
+				if err := bw.writeBlock(DescRestartable, uint64(j.n), uint64(j.off), data); err != nil {
 					errCh <- fmt.Errorf("gridftp: send block at %d: %w", j.off, err)
 					return
 				}
@@ -124,8 +126,12 @@ func sendModeE(conns []net.Conn, f dsi.File, ranges []Range, blockSize int, onBy
 					onBytes(i, int64(j.n))
 				}
 			}
-			if err := WriteBlock(conn, &Block{Desc: DescEOD}); err != nil {
+			if err := bw.writeBlock(DescEOD, 0, 0, nil); err != nil {
 				errCh <- fmt.Errorf("gridftp: send EOD: %w", err)
+				return
+			}
+			if err := bw.flush(); err != nil {
+				errCh <- fmt.Errorf("gridftp: flush blocks: %w", err)
 			}
 		}(i, conn)
 	}
@@ -154,7 +160,7 @@ type recvResult struct {
 // per-stripe counters. A close of cancel (may be nil) aborts the receive —
 // used when the control channel reports failure before or during the
 // transfer.
-func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, existing *RangeSet, onBytes func(stream int, n int64), cancel <-chan struct{}) recvResult {
+func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, existing *RangeSet, blockSize int, onBytes func(stream int, n int64), cancel <-chan struct{}) recvResult {
 	received := existing
 	if received == nil {
 		received = NewRangeSet()
@@ -206,6 +212,8 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 		}()
 	}
 
+	pool := poolFor(blockSize)
+	limit := blockLenLimit(blockSize)
 	var wg sync.WaitGroup
 	handle := func(stream int, conn net.Conn) {
 		defer wg.Done()
@@ -218,9 +226,10 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 			dl.SetReadDeadline(time.Now().Add(60 * time.Second))
 		}
 		first := true
-		var buf []byte
+		buf := pool.Lease()
+		defer func() { pool.Release(buf) }()
 		for {
-			b, nbuf, err := ReadBlock(conn, buf)
+			b, nbuf, err := ReadBlock(conn, buf, limit)
 			buf = nbuf
 			if err == nil && first && hasDeadline {
 				dl.SetReadDeadline(time.Time{})
@@ -305,10 +314,46 @@ func recvModeE(accept func(stop <-chan struct{}) (net.Conn, error), f dsi.File, 
 	return recvResult{Received: received, Err: firstErr}
 }
 
+// preallocate passes a destination-size hint (from ALLO or the sender's
+// announced size) to DSI files that support it, so block-at-a-time writes
+// land in storage sized once up front instead of grown copy by copy.
+func preallocate(f dsi.File, size int64) {
+	if p, ok := f.(interface{ Preallocate(int64) }); ok && size > 0 {
+		p.Preallocate(size)
+	}
+}
+
+// osFiler is implemented by DSI files backed by a real *os.File (posix
+// storage); the stream-mode paths use it to reach the kernel's
+// sendfile/splice fast paths instead of shuttling through a user buffer.
+type osFiler interface {
+	OSFile() *os.File
+}
+
 // sendStream writes the file range [offset, size) as a raw byte stream and
-// half-closes the connection to signal EOF.
-func sendStream(conn net.Conn, f dsi.File, offset, size int64) error {
-	buf := make([]byte, 128*1024)
+// half-closes the connection to signal EOF. When the file is *os.File-
+// backed and the connection (or its counting wrappers) forwards
+// io.ReaderFrom to a real TCP socket, the copy runs zero-copy via
+// sendfile; otherwise it loops through a pooled buffer of the negotiated
+// block size.
+func sendStream(conn net.Conn, f dsi.File, offset, size int64, blockSize int) error {
+	if rf, ok := conn.(io.ReaderFrom); ok {
+		if of, ok := f.(osFiler); ok && size > offset {
+			if _, err := of.OSFile().Seek(offset, io.SeekStart); err == nil {
+				lr := &io.LimitedReader{R: of.OSFile(), N: size - offset}
+				if _, err := rf.ReadFrom(lr); err != nil {
+					return err
+				}
+				return closeWrite(conn)
+			}
+		}
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	pool := poolFor(blockSize)
+	buf := pool.Lease()
+	defer pool.Release(buf)
 	for off := offset; off < size; {
 		n := int64(len(buf))
 		if off+n > size {
@@ -322,6 +367,10 @@ func sendStream(conn net.Conn, f dsi.File, offset, size int64) error {
 		}
 		off += n
 	}
+	return closeWrite(conn)
+}
+
+func closeWrite(conn net.Conn) error {
 	if hc, ok := conn.(interface{ CloseWrite() error }); ok {
 		return hc.CloseWrite()
 	}
@@ -329,8 +378,21 @@ func sendStream(conn net.Conn, f dsi.File, offset, size int64) error {
 }
 
 // recvStream reads a raw byte stream into f starting at offset until EOF.
-func recvStream(conn net.Conn, f dsi.File, offset int64) (int64, error) {
-	buf := make([]byte, 128*1024)
+// *os.File-backed DSI files receive via (*os.File).ReadFrom — splice/
+// copy_file_range when the kernel supports it; everything else loops
+// through a pooled buffer of the negotiated block size.
+func recvStream(conn net.Conn, f dsi.File, offset int64, blockSize int) (int64, error) {
+	if of, ok := f.(osFiler); ok {
+		if _, err := of.OSFile().Seek(offset, io.SeekStart); err == nil {
+			return io.Copy(of.OSFile(), conn)
+		}
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	pool := poolFor(blockSize)
+	buf := pool.Lease()
+	defer pool.Release(buf)
 	var total int64
 	for {
 		n, err := conn.Read(buf)

@@ -1,0 +1,62 @@
+package gridftp
+
+import "sync"
+
+// BufferPool leases fixed-size payload buffers for the MODE E data path so
+// the per-block and per-connection `make([]byte, blockSize)` churn the E2
+// profile surfaced disappears. Buffers are handed out at full length
+// (len == Size) and recycled on Release; foreign buffers (wrong capacity,
+// e.g. one ReadBlock had to grow past the negotiated size) are dropped on
+// the floor rather than poisoning the pool.
+type BufferPool struct {
+	size int
+	pool sync.Pool
+}
+
+// NewBufferPool returns a pool of size-byte buffers.
+func NewBufferPool(size int) *BufferPool {
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	p := &BufferPool{size: size}
+	p.pool.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return p
+}
+
+// Size is the capacity of every buffer this pool leases.
+func (p *BufferPool) Size() int { return p.size }
+
+// Lease returns a buffer of length Size. The caller owns it until Release.
+func (p *BufferPool) Lease() []byte {
+	return *p.pool.Get().(*[]byte)
+}
+
+// Release returns a leased buffer to the pool. The caller must not touch
+// the buffer afterwards — a later Lease may hand it to another stream.
+func (p *BufferPool) Release(buf []byte) {
+	if cap(buf) != p.size {
+		return // grown or foreign buffer; let the GC have it
+	}
+	buf = buf[:p.size]
+	p.pool.Put(&buf)
+}
+
+// payloadPools maps block size -> *BufferPool. Block sizes are negotiated
+// values (a handful per process), so a process-wide registry keyed by size
+// lets every session and client share warm buffers.
+var payloadPools sync.Map
+
+// poolFor returns the process-wide buffer pool for the given block size.
+func poolFor(size int) *BufferPool {
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	if p, ok := payloadPools.Load(size); ok {
+		return p.(*BufferPool)
+	}
+	p, _ := payloadPools.LoadOrStore(size, NewBufferPool(size))
+	return p.(*BufferPool)
+}

@@ -176,18 +176,18 @@ func TestBlockRoundTrip(t *testing.T) {
 	eof := &Block{Desc: DescEOF, Offset: 4}
 	WriteBlock(&buf, eof)
 
-	out, scratch, err := ReadBlock(&buf, nil)
+	out, scratch, err := ReadBlock(&buf, nil, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Offset != 1<<40 || string(out.Data) != "hello" || out.EOD() || out.EOF() {
 		t.Fatalf("block %+v", out)
 	}
-	out2, scratch, err := ReadBlock(&buf, scratch)
+	out2, scratch, err := ReadBlock(&buf, scratch, 0)
 	if err != nil || !out2.EOD() {
 		t.Fatalf("eod %+v err %v", out2, err)
 	}
-	out3, _, err := ReadBlock(&buf, scratch)
+	out3, _, err := ReadBlock(&buf, scratch, 0)
 	if err != nil || !out3.EOF() || out3.Offset != 4 {
 		t.Fatalf("eof %+v err %v", out3, err)
 	}
@@ -196,7 +196,7 @@ func TestBlockRoundTrip(t *testing.T) {
 func TestReadBlockRejectsHuge(t *testing.T) {
 	var buf bytes.Buffer
 	WriteBlock(&buf, &Block{Desc: 0, Count: 1 << 31, Offset: 0})
-	if _, _, err := ReadBlock(&buf, nil); err == nil {
+	if _, _, err := ReadBlock(&buf, nil, 0); err == nil {
 		t.Fatal("unreasonable block length accepted")
 	}
 }
@@ -208,7 +208,7 @@ func TestBlockPropertyRoundTrip(t *testing.T) {
 		if err := WriteBlock(&buf, in); err != nil {
 			return false
 		}
-		out, _, err := ReadBlock(&buf, nil)
+		out, _, err := ReadBlock(&buf, nil, 0)
 		if err != nil {
 			return false
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"gridftp.dev/instant/internal/gsi"
@@ -56,6 +57,25 @@ type SecurityContext struct {
 	// ExpectIdentity, when non-empty, additionally pins the peer's GSI
 	// identity (DCAU's mutual-validation of the *user's* credential).
 	ExpectIdentity gsi.DN
+
+	// cfgOnce memoizes the TLS configs so the N parallel data connections
+	// of one transfer share a config (and crypto/tls's internal per-config
+	// caches) instead of rebuilding certificate chains per connection.
+	cfgOnce   sync.Once
+	serverCfg *tls.Config
+	clientCfg *tls.Config
+}
+
+// tlsConfig returns the memoized TLS config for the requested side.
+func (ctx *SecurityContext) tlsConfig(isListener bool) *tls.Config {
+	ctx.cfgOnce.Do(func() {
+		ctx.serverCfg = gsi.ServerTLSConfig(ctx.Cred, ctx.Trust)
+		ctx.clientCfg = gsi.ClientTLSConfig(ctx.Cred, ctx.Trust)
+	})
+	if isListener {
+		return ctx.serverCfg
+	}
+	return ctx.clientCfg
 }
 
 // DecodeDCSCBlob parses the base64 payload of "DCSC P <blob>": a PEM
@@ -118,9 +138,9 @@ func secureData(conn net.Conn, ctx *SecurityContext, dcau DCAUMode, prot ProtLev
 	}
 	var tc *tls.Conn
 	if isListener {
-		tc = tls.Server(conn, gsi.ServerTLSConfig(ctx.Cred, ctx.Trust))
+		tc = tls.Server(conn, ctx.tlsConfig(true))
 	} else {
-		tc = tls.Client(conn, gsi.ClientTLSConfig(ctx.Cred, ctx.Trust))
+		tc = tls.Client(conn, ctx.tlsConfig(false))
 	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	if err := tc.Handshake(); err != nil {

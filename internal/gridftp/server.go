@@ -190,6 +190,11 @@ type session struct {
 	restart []Range
 	cwd     string
 
+	// alloHint is the size announced by ALLO for the next STOR; the
+	// storage layer preallocates from it instead of grow-copying per
+	// block (the top allocator in the E2 profile). Consumed by one STOR.
+	alloHint int64
+
 	// task is the caller-supplied task label installed by SITE TASK; the
 	// stream-telemetry plane uses it to name this session's per-stream
 	// series, so both ends of a third-party transfer (and the scheduler

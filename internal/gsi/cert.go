@@ -21,19 +21,35 @@ type Credential struct {
 	Cert  *x509.Certificate
 	Key   *ecdsa.PrivateKey
 	Chain []*x509.Certificate // issuer-first order, leaf's issuer at [0]
+
+	// idOnce memoizes DN/Identity: both are pure functions of Cert, and
+	// every data-channel setup consults Identity, so rebuilding the DN
+	// string (and re-parsing it to strip proxy CNs) per connection showed
+	// up in transfer profiles.
+	idOnce   sync.Once
+	subject  DN
+	identity DN
+}
+
+func (c *Credential) resolveIdentity() {
+	c.idOnce.Do(func() {
+		c.subject = CertDN(c.Cert)
+		d := c.subject
+		for cn := d.LastCN(); isProxyCN(cn); cn = d.LastCN() {
+			d = d.StripLastCN()
+		}
+		c.identity = d
+	})
 }
 
 // DN returns the subject DN of the credential's certificate.
-func (c *Credential) DN() DN { return CertDN(c.Cert) }
+func (c *Credential) DN() DN { c.resolveIdentity(); return c.subject }
 
 // Identity returns the credential's end-entity DN with any proxy CN
 // markers stripped, i.e. the DN authorization decisions are made on.
 func (c *Credential) Identity() DN {
-	d := c.DN()
-	for cn := d.LastCN(); isProxyCN(cn); cn = d.LastCN() {
-		d = d.StripLastCN()
-	}
-	return d
+	c.resolveIdentity()
+	return c.identity
 }
 
 // Expired reports whether the certificate is outside its validity window.

@@ -43,6 +43,10 @@ func ServerTLSConfig(cred *Credential, trust *TrustStore) *tls.Config {
 		InsecureSkipVerify:    true, // GSI verification below replaces stdlib verification
 		VerifyPeerCertificate: verifyCallback(trust),
 		MinVersion:            tls.VersionTLS12,
+		// GSI peers build a fresh config per connection, so issued session
+		// tickets can never be redeemed; minting them just burns a key
+		// schedule per data-channel handshake.
+		SessionTicketsDisabled: true,
 	}
 }
 

@@ -38,6 +38,90 @@ type TrustStore struct {
 	roots    map[DN]*x509.Certificate
 	direct   map[[32]byte]*x509.Certificate
 	policies map[DN]*SigningPolicy
+
+	// vmu guards vcache, the chain-verification memo. GridFTP performs
+	// the same chain walk for every data-channel handshake of a parallel
+	// transfer (and twice per handshake: the TLS callback plus
+	// PeerIdentity), which made ECDSA verification and DER re-parsing the
+	// top allocators on the E2 hot path. Successful verifications are
+	// cached by chain digest and replayed while `now` stays inside the
+	// chain's validity window; any mutation of the store empties the memo.
+	vmu    sync.RWMutex
+	vcache map[[32]byte]*verifyCacheEntry
+}
+
+// verifyCacheEntry is one memoized successful verification: the identity
+// plus the time window (validity intersection across the chain and its
+// anchor) within which the outcome remains sound.
+type verifyCacheEntry struct {
+	id        *VerifiedIdentity
+	notBefore time.Time
+	notAfter  time.Time
+}
+
+// verifyCacheMax bounds the memo; the map resets wholesale when full
+// (chains per store are few — users × proxies — so eviction is rare).
+const verifyCacheMax = 256
+
+// chainKey digests a leaf-first chain as a hash of per-certificate
+// hashes: collision-unambiguous without concatenation, and — unlike
+// sha256.New, whose state escapes through the hash.Hash interface —
+// entirely stack-allocated on the handshake hot path.
+func chainKey(raws [][]byte) [32]byte {
+	var buf [maxChainDepth * sha256.Size]byte
+	n := 0
+	for _, raw := range raws {
+		d := sha256.Sum256(raw)
+		n += copy(buf[n:], d[:])
+	}
+	return sha256.Sum256(buf[:n])
+}
+
+func (t *TrustStore) cachedVerify(key [32]byte, now time.Time) (*VerifiedIdentity, bool) {
+	t.vmu.RLock()
+	e := t.vcache[key]
+	t.vmu.RUnlock()
+	if e == nil || now.Before(e.notBefore) || now.After(e.notAfter) {
+		return nil, false
+	}
+	return e.id, true
+}
+
+func (t *TrustStore) storeVerify(key [32]byte, id *VerifiedIdentity, chain []*x509.Certificate) {
+	e := &verifyCacheEntry{id: id}
+	for i, c := range chain {
+		if i == 0 || c.NotBefore.After(e.notBefore) {
+			e.notBefore = c.NotBefore
+		}
+		if i == 0 || c.NotAfter.Before(e.notAfter) {
+			e.notAfter = c.NotAfter
+		}
+	}
+	if id.IssuerCA != "" {
+		if root := t.rootFor(id.IssuerCA); root != nil {
+			if root.NotBefore.After(e.notBefore) {
+				e.notBefore = root.NotBefore
+			}
+			if root.NotAfter.Before(e.notAfter) {
+				e.notAfter = root.NotAfter
+			}
+		}
+	}
+	t.vmu.Lock()
+	if t.vcache == nil || len(t.vcache) >= verifyCacheMax {
+		t.vcache = make(map[[32]byte]*verifyCacheEntry)
+	}
+	t.vcache[key] = e
+	t.vmu.Unlock()
+}
+
+// invalidateVerifyCache empties the memo; every store mutation calls it,
+// since new anchors, policies, or direct certs change verification
+// outcomes.
+func (t *TrustStore) invalidateVerifyCache() {
+	t.vmu.Lock()
+	t.vcache = nil
+	t.vmu.Unlock()
 }
 
 // NewTrustStore returns an empty trust store.
@@ -55,24 +139,27 @@ func (t *TrustStore) AddCA(cert *x509.Certificate) error {
 		return fmt.Errorf("gsi: %q is not a CA certificate", CertDN(cert))
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.roots[CertDN(cert)] = cert
+	t.mu.Unlock()
+	t.invalidateVerifyCache()
 	return nil
 }
 
 // AddPolicy registers a signing policy for a CA DN.
 func (t *TrustStore) AddPolicy(p *SigningPolicy) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.policies[p.CA] = p
+	t.mu.Unlock()
+	t.invalidateVerifyCache()
 }
 
 // AddDirect registers a specific (typically self-signed end-entity)
 // certificate as directly trusted — the DCSC self-signed context case.
 func (t *TrustStore) AddDirect(cert *x509.Certificate) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.direct[sha256.Sum256(cert.Raw)] = cert
+	t.mu.Unlock()
+	t.invalidateVerifyCache()
 }
 
 // Policy returns the signing policy registered for a CA DN, if any.
@@ -137,6 +224,30 @@ func (t *TrustStore) Verify(chain []*x509.Certificate, now time.Time) (*Verified
 	if len(chain) == 0 {
 		return nil, errors.New("gsi: empty certificate chain")
 	}
+	if len(chain) > maxChainDepth {
+		return t.verifyChain(chain, now) // over-deep chains are rejected uncached
+	}
+	raws := make([][]byte, len(chain))
+	for i, c := range chain {
+		if len(c.Raw) == 0 {
+			return t.verifyChain(chain, now) // synthetic cert, not cacheable
+		}
+		raws[i] = c.Raw
+	}
+	key := chainKey(raws)
+	if id, ok := t.cachedVerify(key, now); ok {
+		return id, nil
+	}
+	id, err := t.verifyChain(chain, now)
+	if err != nil {
+		return nil, err
+	}
+	t.storeVerify(key, id, chain)
+	return id, nil
+}
+
+// verifyChain is the uncached chain walk behind Verify.
+func (t *TrustStore) verifyChain(chain []*x509.Certificate, now time.Time) (*VerifiedIdentity, error) {
 	leaf := chain[0]
 	id := &VerifiedIdentity{
 		Subject:    CertDN(leaf),
@@ -256,6 +367,20 @@ func pickIssuer(cur *x509.Certificate, candidates []*x509.Certificate) (*x509.Ce
 // VerifyRaw parses DER certificates (as provided by crypto/tls's
 // VerifyPeerCertificate callback) and verifies them.
 func (t *TrustStore) VerifyRaw(rawCerts [][]byte, now time.Time) (*VerifiedIdentity, error) {
+	if len(rawCerts) == 0 {
+		return nil, errors.New("gsi: empty certificate chain")
+	}
+	// The memo is consulted on the raw DER bytes before any parsing: a
+	// data-channel handshake whose chain was already verified costs one
+	// digest, not seventeen signature checks and a fresh parse tree.
+	cacheable := len(rawCerts) <= maxChainDepth
+	var key [sha256.Size]byte
+	if cacheable {
+		key = chainKey(rawCerts)
+		if id, ok := t.cachedVerify(key, now); ok {
+			return id, nil
+		}
+	}
 	chain := make([]*x509.Certificate, 0, len(rawCerts))
 	for _, raw := range rawCerts {
 		c, err := x509.ParseCertificate(raw)
@@ -264,5 +389,12 @@ func (t *TrustStore) VerifyRaw(rawCerts [][]byte, now time.Time) (*VerifiedIdent
 		}
 		chain = append(chain, c)
 	}
-	return t.Verify(chain, now)
+	id, err := t.verifyChain(chain, now)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		t.storeVerify(key, id, chain)
+	}
+	return id, nil
 }

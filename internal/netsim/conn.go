@@ -15,10 +15,58 @@ import (
 const maxBufferedBytes = 8 << 20
 
 // chunk is a span of bytes plus the simulated time at which it arrives at
-// the receiver.
+// the receiver. full retains the original allocation so a fully consumed
+// chunk's buffer can return to the pool even after partial reads advanced
+// data.
 type chunk struct {
 	data []byte
+	full []byte
 	at   time.Time
+}
+
+// Chunk buffers are pooled by power-of-two size class (4 KiB .. 4 MiB):
+// the E2 profile showed pipeHalf.write's per-chunk make([]byte, n) as a
+// top allocator, and MODE E traffic reuses a handful of sizes heavily.
+const (
+	chunkClassMin  = 12 // 4 KiB
+	chunkClassMax  = 22 // 4 MiB
+	chunkClassBits = chunkClassMax - chunkClassMin + 1
+)
+
+var chunkPools [chunkClassBits]sync.Pool
+
+// chunkClass maps a byte count to (pool index, class capacity).
+func chunkClass(n int) (int, int) {
+	idx, size := 0, 1<<chunkClassMin
+	for size < n && idx < chunkClassBits-1 {
+		size <<= 1
+		idx++
+	}
+	return idx, size
+}
+
+// leaseChunk returns an n-byte buffer, pooled when n fits a size class.
+func leaseChunk(n int) []byte {
+	if n > 1<<chunkClassMax {
+		return make([]byte, n)
+	}
+	idx, size := chunkClass(n)
+	if v := chunkPools[idx].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, size)
+}
+
+// releaseChunk recycles a buffer leased by leaseChunk; foreign capacities
+// (oversize one-offs) are left to the GC.
+func releaseChunk(b []byte) {
+	c := cap(b)
+	idx, size := chunkClass(c)
+	if size != c {
+		return
+	}
+	b = b[:size]
+	chunkPools[idx].Put(&b)
 }
 
 // pipeHalf is one direction of a connection: written by one end, read by
@@ -60,14 +108,39 @@ func (h *pipeHalf) sleepUntil(t time.Time) bool {
 			return true
 		}
 	}
-	tm := time.NewTimer(d)
-	defer tm.Stop()
+	tm := leaseTimer(d)
+	defer releaseTimer(tm)
 	select {
 	case <-tm.C:
 		return true
 	case <-h.deadCh:
 		return false
 	}
+}
+
+// timerPool recycles timers for the blocking waits below: every paced
+// write and deadline-bounded read of a busy transfer parks on a timer, and
+// allocating a fresh runtime timer (plus its channel) per wait showed up
+// in transfer allocation profiles.
+var timerPool sync.Pool
+
+func leaseTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Drain a fire that raced the Stop so the next lease starts clean.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 func signal(ch chan struct{}) {
@@ -91,9 +164,23 @@ func (h *pipeHalf) trackQueue(n int64) {
 // amount of space before resuming, so steady-state chunks never degrade
 // into slivers (which would make per-chunk costs dominate).
 func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
+	bufs := [1][][]byte{{p}}
+	return h.writev(bufs[0], deadline)
+}
+
+// writev is the gather form of write: all slices land contiguously, so a
+// MODE E [header, payload] pair becomes one chunk (one delivery-time
+// computation, one pooled buffer) instead of two — the simulated
+// equivalent of writev(2) on a TCP socket.
+func (h *pipeHalf) writev(bufs [][]byte, deadline time.Time) (int, error) {
+	remaining := 0
+	for _, b := range bufs {
+		remaining += len(b)
+	}
 	total := 0
-	for len(p) > 0 {
-		want := len(p)
+	bi, bo := 0, 0 // gather cursor: buffer index, offset within it
+	for remaining > 0 {
+		want := remaining
 		if want > maxBufferedBytes/4 {
 			want = maxBufferedBytes / 4
 		}
@@ -109,7 +196,7 @@ func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
 			h.mu.Unlock()
 			return total, net.ErrClosed
 		}
-		n := len(p)
+		n := remaining
 		if room := maxBufferedBytes - h.buffered; n > room {
 			n = room
 		}
@@ -118,15 +205,23 @@ func (h *pipeHalf) write(p []byte, deadline time.Time) (int, error) {
 		if h.shaper != nil {
 			at = h.shaper.deliveryTime(n, now)
 		}
-		data := make([]byte, n)
-		copy(data, p[:n])
-		h.buf = append(h.buf, chunk{data: data, at: at})
+		data := leaseChunk(n)
+		for m := 0; m < n; {
+			k := copy(data[m:], bufs[bi][bo:])
+			m += k
+			bo += k
+			if bo == len(bufs[bi]) {
+				bi++
+				bo = 0
+			}
+		}
+		h.buf = append(h.buf, chunk{data: data, full: data, at: at})
 		h.buffered += n
 		h.trackQueue(int64(n))
 		h.mu.Unlock()
 		signal(h.dataReady)
 		total += n
-		p = p[n:]
+		remaining -= n
 		// Pace the writer: it regains control once transmission (finish
 		// time minus one-way propagation) completes.
 		if h.shaper != nil {
@@ -179,6 +274,8 @@ func (h *pipeHalf) read(p []byte, deadline time.Time) (int, error) {
 				m := copy(p[n:], c.data)
 				n += m
 				if m == len(c.data) {
+					releaseChunk(c.full)
+					h.buf[0] = chunk{}
 					h.buf = h.buf[1:]
 				} else {
 					c.data = c.data[m:]
@@ -215,6 +312,9 @@ func (h *pipeHalf) hardClose() {
 	h.mu.Lock()
 	h.wclosed = true
 	h.dead = true
+	for i := range h.buf {
+		releaseChunk(h.buf[i].full)
+	}
 	h.buf = nil
 	h.trackQueue(-int64(h.buffered))
 	h.buffered = 0
@@ -233,8 +333,8 @@ func waitSignal(ch chan struct{}, deadline time.Time) error {
 	if d <= 0 {
 		return os.ErrDeadlineExceeded
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
+	t := leaseTimer(d)
+	defer releaseTimer(t)
 	select {
 	case <-ch:
 		return nil
@@ -293,6 +393,21 @@ func (c *Conn) Write(p []byte) (int, error) {
 		err = &net.OpError{Op: "write", Net: "sim", Source: c.local, Addr: c.remote, Err: err}
 	}
 	return n, err
+}
+
+// WriteBuffers writes several slices as one wire operation — the
+// simulated writev(2). The MODE E fast path uses it to put a block header
+// and its payload (or a batch of small blocks) into a single shaped chunk
+// instead of one per Write call.
+func (c *Conn) WriteBuffers(bufs [][]byte) (int64, error) {
+	c.mu.Lock()
+	dl := c.wdeadline
+	c.mu.Unlock()
+	n, err := c.wr.writev(bufs, dl)
+	if err != nil {
+		err = &net.OpError{Op: "writev", Net: "sim", Source: c.local, Addr: c.remote, Err: err}
+	}
+	return int64(n), err
 }
 
 // Close shuts down both directions of this end. The peer sees EOF after

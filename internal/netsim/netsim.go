@@ -346,13 +346,14 @@ func (h *Host) dialContext(ctx context.Context, target string, tr Transport) (ne
 	}
 	// TCP connection establishment costs one RTT before data can flow.
 	if rtt := lk.getParams().RTT; rtt > 0 {
-		t := time.NewTimer(rtt)
+		t := leaseTimer(rtt)
 		select {
 		case <-t.C:
 		case <-ctx.Done():
-			t.Stop()
+			releaseTimer(t)
 			return nil, ctx.Err()
 		}
+		releaseTimer(t)
 	}
 	local, remote := newConnPair(lk, tr, addr{h.name, ephemeralPort()}, addr{thost, tport})
 	if !lk.register(local) {

@@ -36,6 +36,7 @@ package streamstats
 
 import (
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -280,7 +281,29 @@ func (t *Transfer) Wrap(i int, payload, wire net.Conn) net.Conn {
 	s.mu.Lock()
 	s.wire = wire
 	s.mu.Unlock()
-	return &streamConn{Conn: payload, s: s}
+	sc := &streamConn{Conn: payload, s: s}
+	// Capability-gated fast-path passthrough: the instrumented conn only
+	// advertises vectored writes (WriteBuffers) or sendfile (io.ReaderFrom)
+	// when the payload conn underneath provides them, and the forwarding
+	// methods keep the byte/progress counters honest — the MODE E fast
+	// path must never bypass stream telemetry.
+	rf, _ := payload.(io.ReaderFrom)
+	bw, _ := payload.(buffersWriter)
+	switch {
+	case rf != nil && bw != nil:
+		return &streamStreamConn{streamConn: sc, rf: rf, bw: bw}
+	case rf != nil:
+		return &streamReaderFromConn{streamConn: sc, rf: rf}
+	case bw != nil:
+		return &streamBuffersConn{streamConn: sc, bw: bw}
+	}
+	return sc
+}
+
+// buffersWriter matches the vectored-write capability (xio.BuffersWriter,
+// netsim.Conn.WriteBuffers) structurally, avoiding an import direction.
+type buffersWriter interface {
+	WriteBuffers(bufs [][]byte) (int64, error)
 }
 
 // SetAbort installs the function the stall watchdog calls (once) when a
@@ -369,6 +392,61 @@ func (c *streamConn) CloseWrite() error {
 		return hc.CloseWrite()
 	}
 	return nil
+}
+
+// readFrom forwards io.ReaderFrom, accounting the moved bytes as write
+// progress and the elapsed time as write-blocked time.
+func (c *streamConn) readFrom(rf io.ReaderFrom, r io.Reader) (int64, error) {
+	start := time.Now()
+	n, err := rf.ReadFrom(r)
+	c.s.blocked.Add(int64(time.Since(start)))
+	if n > 0 {
+		c.s.bytes.Add(n)
+		c.s.last.Store(time.Now().UnixNano())
+	}
+	return n, err
+}
+
+// writeBuffers forwards a vectored write with full accounting.
+func (c *streamConn) writeBuffers(bw buffersWriter, bufs [][]byte) (int64, error) {
+	start := time.Now()
+	n, err := bw.WriteBuffers(bufs)
+	c.s.blocked.Add(int64(time.Since(start)))
+	if n > 0 {
+		c.s.bytes.Add(n)
+		c.s.last.Store(time.Now().UnixNano())
+	}
+	return n, err
+}
+
+// streamReaderFromConn instruments a conn that supports io.ReaderFrom.
+type streamReaderFromConn struct {
+	*streamConn
+	rf io.ReaderFrom
+}
+
+func (c *streamReaderFromConn) ReadFrom(r io.Reader) (int64, error) { return c.readFrom(c.rf, r) }
+
+// streamBuffersConn instruments a conn that supports vectored writes.
+type streamBuffersConn struct {
+	*streamConn
+	bw buffersWriter
+}
+
+func (c *streamBuffersConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	return c.writeBuffers(c.bw, bufs)
+}
+
+// streamStreamConn instruments a conn that supports both.
+type streamStreamConn struct {
+	*streamConn
+	rf io.ReaderFrom
+	bw buffersWriter
+}
+
+func (c *streamStreamConn) ReadFrom(r io.Reader) (int64, error) { return c.readFrom(c.rf, r) }
+func (c *streamStreamConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	return c.writeBuffers(c.bw, bufs)
 }
 
 // run is the poller/watchdog loop.
@@ -645,6 +723,14 @@ type WireSummary struct {
 	Imbalance float64
 	// Stalls is how many transfers were aborted by the stall watchdog.
 	Stalls int
+	// RTT is the largest per-stream RTT observed (the path RTT for
+	// bandwidth-delay-product sizing).
+	RTT time.Duration
+	// CwndSegments is the largest per-stream congestion window observed.
+	CwndSegments int64
+	// Throughput is the summed per-stream EWMA throughput (bytes/sec)
+	// across the matched transfers' streams.
+	Throughput float64
 }
 
 // WireSummary aggregates every transfer whose label starts with prefix
@@ -669,6 +755,13 @@ func (r *Registry) WireSummary(prefix string) (WireSummary, bool) {
 		}
 		for _, sh := range th.Streams {
 			ws.Retransmits += sh.Retransmits
+			ws.Throughput += sh.Throughput
+			if rtt := time.Duration(sh.RTTMillis * float64(time.Millisecond)); rtt > ws.RTT {
+				ws.RTT = rtt
+			}
+			if sh.CwndSegments > ws.CwndSegments {
+				ws.CwndSegments = sh.CwndSegments
+			}
 		}
 	}
 	return ws, ws.Transfers > 0

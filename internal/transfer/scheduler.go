@@ -10,6 +10,7 @@ import (
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/streamstats"
 )
 
 // This file is the concurrent transfer scheduler: a task's file plan fans
@@ -277,6 +278,45 @@ func (a *autotuner) streamsFor(size int64) int {
 	return n
 }
 
+// Block-size autotuning bounds: the BDP estimate is clamped to
+// [64 KiB, 2 MiB] so short paths keep framing overhead low without
+// degenerating into tiny blocks, and long fat paths stop growing before a
+// single block monopolizes the receive pool.
+const (
+	minAutoBlockSize = 64 << 10
+	maxAutoBlockSize = 2 << 20
+)
+
+// blockSizeFor picks the MODE E block size from the path's
+// bandwidth-delay product: each stream should be able to keep roughly one
+// block in flight, so the per-stream share of throughput×RTT is rounded
+// down to a power of two and clamped. The wire evidence comes from the
+// stream-telemetry plane (per-stream RTT and EWMA throughput, with
+// cwnd×MSS as the cold-start fallback); with no evidence the negotiated
+// default stands.
+func (a *autotuner) blockSizeFor(ws streamstats.WireSummary, streams int) int {
+	if a.disabled {
+		return gridftp.DefaultBlockSize
+	}
+	bdp := ws.Throughput * ws.RTT.Seconds()
+	if bdp <= 0 && ws.CwndSegments > 0 {
+		// Cold start: no throughput EWMA yet, but the kernel's congestion
+		// window says how much this path keeps in flight per stream.
+		bdp = float64(ws.CwndSegments) * 1460
+	}
+	if bdp <= 0 {
+		return gridftp.DefaultBlockSize
+	}
+	if streams > 1 {
+		bdp /= float64(streams)
+	}
+	bs := minAutoBlockSize
+	for bs*2 <= maxAutoBlockSize && float64(bs*2) <= bdp {
+		bs *= 2
+	}
+	return bs
+}
+
 // budgetNow reports the current total stream budget (for metrics).
 func (a *autotuner) budgetNow() int {
 	a.mu.Lock()
@@ -452,6 +492,19 @@ func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
 		return err
 	}
 	reg.Gauge("transfer.stream_budget").Set(int64(r.tuner.budgetNow()))
+
+	// Wire-aware block sizing: size MODE E blocks to the path's
+	// bandwidth-delay product as observed by the stream-telemetry plane.
+	// Best-effort — SetBlockSize is a no-op round trip when the value is
+	// unchanged, and an endpoint rejecting the OPTS extension keeps its
+	// negotiated default.
+	ws, _ := s.cfg.Streams.WireSummary(r.task.ID)
+	if bs := r.tuner.blockSizeFor(ws, par); bs > 0 {
+		if err := pair.src.SetBlockSize(bs); err == nil {
+			pair.dst.SetBlockSize(bs)
+		}
+		reg.Gauge("transfer.block_size").Set(int64(bs))
+	}
 
 	restart := r.plan.takeMarkers(i)
 	already := gridftp.FromRanges(restart).Covered()

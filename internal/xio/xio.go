@@ -11,6 +11,7 @@ package xio
 import (
 	"crypto/tls"
 	"fmt"
+	"io"
 	"net"
 	"sync/atomic"
 	"time"
@@ -126,9 +127,33 @@ func (d *TelemetryDriver) WrapClient(conn net.Conn) (net.Conn, error) { return d
 // WrapServer implements Driver.
 func (d *TelemetryDriver) WrapServer(conn net.Conn) (net.Conn, error) { return d.wrap(conn), nil }
 
+// BuffersWriter is the vectored-write capability: several slices delivered
+// as a single write on the wire (writev). Wrappers forward it only when
+// the connection underneath supports it, so advertising the method never
+// degrades a stack into per-slice writes.
+type BuffersWriter interface {
+	WriteBuffers(bufs [][]byte) (int64, error)
+}
+
 func (d *TelemetryDriver) wrap(conn net.Conn) net.Conn {
 	d.Counters.Conns.Add(1)
-	return &countedConn{Conn: conn, c: d.Counters}
+	counted := &countedConn{Conn: conn, c: d.Counters}
+	// Zero-copy / vectored passthrough is capability-gated: the wrapper
+	// only advertises io.ReaderFrom or WriteBuffers when the connection
+	// underneath provides them (a real TCP socket, a netsim conn). TLS and
+	// deflate layers above then simply don't see the methods they must not
+	// forward, and a plain conn keeps the plain wrapper.
+	rf, _ := conn.(io.ReaderFrom)
+	bw, _ := conn.(BuffersWriter)
+	switch {
+	case rf != nil && bw != nil:
+		return &countedStreamConn{countedConn: counted, rf: rf, bw: bw}
+	case rf != nil:
+		return &countedReaderFromConn{countedConn: counted, rf: rf}
+	case bw != nil:
+		return &countedBuffersConn{countedConn: counted, bw: bw}
+	}
+	return counted
 }
 
 type countedConn struct {
@@ -155,6 +180,53 @@ func (c *countedConn) CloseWrite() error {
 		return hc.CloseWrite()
 	}
 	return nil
+}
+
+// readFrom forwards io.ReaderFrom with byte counting — this is what lets
+// sendfile(2) survive a telemetry layer in the stack.
+func (c *countedConn) readFrom(rf io.ReaderFrom, r io.Reader) (int64, error) {
+	n, err := rf.ReadFrom(r)
+	c.c.BytesWritten.Add(n)
+	return n, err
+}
+
+// writeBuffers forwards a vectored write with byte counting.
+func (c *countedConn) writeBuffers(bw BuffersWriter, bufs [][]byte) (int64, error) {
+	n, err := bw.WriteBuffers(bufs)
+	c.c.BytesWritten.Add(n)
+	return n, err
+}
+
+// countedReaderFromConn is a countedConn over a conn that supports
+// io.ReaderFrom (e.g. *net.TCPConn → sendfile).
+type countedReaderFromConn struct {
+	*countedConn
+	rf io.ReaderFrom
+}
+
+func (c *countedReaderFromConn) ReadFrom(r io.Reader) (int64, error) { return c.readFrom(c.rf, r) }
+
+// countedBuffersConn is a countedConn over a conn that supports vectored
+// writes (e.g. netsim).
+type countedBuffersConn struct {
+	*countedConn
+	bw BuffersWriter
+}
+
+func (c *countedBuffersConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	return c.writeBuffers(c.bw, bufs)
+}
+
+// countedStreamConn supports both capabilities.
+type countedStreamConn struct {
+	*countedConn
+	rf io.ReaderFrom
+	bw BuffersWriter
+}
+
+func (c *countedStreamConn) ReadFrom(r io.Reader) (int64, error) { return c.readFrom(c.rf, r) }
+func (c *countedStreamConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	return c.writeBuffers(c.bw, bufs)
 }
 
 // --- Throttle driver ---

@@ -1,6 +1,7 @@
 package xio
 
 import (
+	"crypto/tls"
 	"bytes"
 	"io"
 	"net"
@@ -181,5 +182,129 @@ func TestCountedConnForwardsCloseWrite(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("EOF never reached the peer")
+	}
+}
+
+// fullCapConn is a net.Conn with both zero-copy capabilities, standing in
+// for a real TCP socket or a netsim conn.
+type fullCapConn struct {
+	net.Conn
+	readFromCalls     int
+	writeBuffersCalls int
+}
+
+func (c *fullCapConn) ReadFrom(r io.Reader) (int64, error) {
+	c.readFromCalls++
+	return io.Copy(c.Conn, r)
+}
+
+func (c *fullCapConn) WriteBuffers(bufs [][]byte) (int64, error) {
+	c.writeBuffersCalls++
+	var total int64
+	for _, b := range bufs {
+		n, err := c.Conn.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// TestTelemetryCapabilityGating verifies the zero-copy passthrough
+// contract: the telemetry wrapper advertises io.ReaderFrom/WriteBuffers
+// exactly when the connection underneath provides them (with byte
+// counting), and transforming layers — deflate, TLS — never let the
+// capabilities leak through, since a forwarded ReadFrom would bypass
+// compression or encryption entirely.
+func TestTelemetryCapabilityGating(t *testing.T) {
+	counters := &Counters{}
+	drv := &TelemetryDriver{Counters: counters}
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+
+	// Over a fully capable conn: both capabilities forwarded and counted.
+	capable := &fullCapConn{Conn: a}
+	wrapped, err := drv.WrapClient(capable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, ok := wrapped.(io.ReaderFrom)
+	if !ok {
+		t.Fatal("telemetry over capable conn must forward io.ReaderFrom")
+	}
+	bw, ok := wrapped.(BuffersWriter)
+	if !ok {
+		t.Fatal("telemetry over capable conn must forward WriteBuffers")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(io.Discard, b)
+	}()
+	if _, err := rf.ReadFrom(bytes.NewReader(make([]byte, 100))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bw.WriteBuffers([][]byte{make([]byte, 17), make([]byte, 83)}); err != nil {
+		t.Fatal(err)
+	}
+	wrapped.Close()
+	<-done
+	if capable.readFromCalls != 1 || capable.writeBuffersCalls != 1 {
+		t.Fatalf("capabilities not forwarded: ReadFrom=%d WriteBuffers=%d",
+			capable.readFromCalls, capable.writeBuffersCalls)
+	}
+	if got := counters.BytesWritten.Load(); got != 200 {
+		t.Fatalf("counted %d bytes written, want 200", got)
+	}
+
+	// Over a plain conn (no capabilities): the wrapper must not advertise
+	// either, or callers would silently lose batching.
+	c, d := net.Pipe()
+	defer c.Close()
+	defer d.Close()
+	plain, err := drv.WrapClient(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plain.(io.ReaderFrom); ok {
+		t.Fatal("telemetry over plain conn must not advertise io.ReaderFrom")
+	}
+	if _, ok := plain.(BuffersWriter); ok {
+		t.Fatal("telemetry over plain conn must not advertise WriteBuffers")
+	}
+
+	// Deflate and TLS transform the byte stream, so they must swallow the
+	// capabilities even when the conn below is fully capable: telemetry
+	// stacked on top must see neither.
+	for _, tc := range []struct {
+		name string
+		wrap func(net.Conn) net.Conn
+	}{
+		{"deflate", func(conn net.Conn) net.Conn { return (&DeflateDriver{}).Wrap(conn) }},
+		{"tls", func(conn net.Conn) net.Conn { return tls.Client(conn, &tls.Config{}) }},
+	} {
+		e, f := net.Pipe()
+		transformed := tc.wrap(&fullCapConn{Conn: e})
+		if _, ok := transformed.(io.ReaderFrom); ok {
+			t.Fatalf("%s layer leaks io.ReaderFrom past the transform", tc.name)
+		}
+		if _, ok := transformed.(BuffersWriter); ok {
+			t.Fatalf("%s layer leaks WriteBuffers past the transform", tc.name)
+		}
+		over, err := drv.WrapClient(transformed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := over.(io.ReaderFrom); ok {
+			t.Fatalf("telemetry over %s must not advertise io.ReaderFrom", tc.name)
+		}
+		if _, ok := over.(BuffersWriter); ok {
+			t.Fatalf("telemetry over %s must not advertise WriteBuffers", tc.name)
+		}
+		e.Close()
+		f.Close()
 	}
 }
