@@ -70,6 +70,14 @@ func renderFleetDashboard(src string) error {
 		renderFleetBundles(bundles)
 	}
 
+	// Fleet-merged tenant attribution: per-DN sums across every
+	// instance's pushed sketch table. Heads without tenant pushes just
+	// return an empty table and the section is omitted.
+	var tenants tenantDocument
+	if err := fetchJSON(base+"/fleet/tenants", &tenants); err == nil && len(tenants.Tenants) > 0 {
+		renderFleetTenants(tenants)
+	}
+
 	var ts fleetTSDocument
 	if err := fetchJSON(base+"/fleet/timeseries?series=fleet.", &ts); err != nil {
 		return err
@@ -118,6 +126,24 @@ func medianGoodput(instances []fleetInstance) float64 {
 	}
 	sort.Float64s(rates)
 	return rates[len(rates)/2]
+}
+
+// renderFleetTenants prints the fleet-merged per-DN table. Unlike the
+// single-daemon dashboard there is no instantaneous bytes/s join (the
+// head merges cumulative tables, not rate series), so the columns are
+// the restart-proof totals plus the live active-transfer gauge.
+func renderFleetTenants(td tenantDocument) {
+	fmt.Printf("fleet tenants by bytes moved (%d shown)\n", len(td.Tenants))
+	fmt.Printf("  %4s %-40s %10s %7s %7s %7s\n", "rank", "dn", "moved", "active", "err%", "share")
+	for _, t := range td.Tenants {
+		dn := t.DN
+		if len(dn) > 40 {
+			dn = "…" + dn[len(dn)-39:]
+		}
+		fmt.Printf("  %4d %-40s %10s %7d %6.1f%% %6.1f%%\n",
+			t.Rank, dn, fmtBytes(float64(t.Bytes)), t.Active, t.ErrorRate*100, t.Share*100)
+	}
+	fmt.Println()
 }
 
 func renderFleetBundles(doc fleetBundleDocument) {

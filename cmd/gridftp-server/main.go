@@ -41,6 +41,7 @@ import (
 	"gridftp.dev/instant/internal/obs/collector"
 	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/obs/profile"
+	"gridftp.dev/instant/internal/obs/tenant"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -79,15 +80,24 @@ func main() {
 		prof.Start()
 		defer prof.Stop()
 	}
+	// Tenant accounting plane: per-DN attribution of commands and data
+	// bytes, surfaced on the admin plane's /tenants and federated to any
+	// fleet head. Only minted when something can read it.
+	var tenants *tenant.Accountant
+	if *adminAddr != "" || *fleetPush != "" {
+		tenants = tenant.New(tenant.Options{Obs: o})
+		stopTenants := tenants.Start()
+		defer stopTenants()
+	}
 	if *fleetPush != "" {
 		instance := *fleetInstance
 		if instance == "" {
 			instance = *name
 		}
-		stopPush := fleet.StartPusher(*fleetPush, instance, o, *fleetPushInterval)
+		stopPush := fleet.StartPusher(*fleetPush, instance, o, tenants, *fleetPushInterval)
 		defer stopPush()
 	}
-	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o, prof)
+	err := run(*name, *user, *password, *selftest, *withOAuth, *adminAddr, o, prof, tenants)
 	if *metrics {
 		fmt.Fprint(os.Stderr, o.DebugSnapshot())
 	}
@@ -103,7 +113,7 @@ func main() {
 	}
 }
 
-func run(name, user, password string, selftest, withOAuth bool, adminAddr string, o *obs.Obs, prof *profile.Profiler) error {
+func run(name, user, password string, selftest, withOAuth bool, adminAddr string, o *obs.Obs, prof *profile.Profiler, tenants *tenant.Accountant) error {
 	nw := netsim.NewNetwork()
 
 	// The admin plane comes up before the install so /healthz answers
@@ -126,6 +136,9 @@ func run(name, user, password string, selftest, withOAuth bool, adminAddr string
 		defer stopTelemetry()
 		if prof != nil {
 			adm.SetProfiler(prof)
+		}
+		if tenants != nil {
+			adm.SetTenants(tenants)
 		}
 		addr, err := adm.ListenAndServe(adminAddr)
 		if err != nil {
@@ -151,6 +164,7 @@ func run(name, user, password string, selftest, withOAuth bool, adminAddr string
 		Accounts:  accounts,
 		WithOAuth: withOAuth,
 		Obs:       o,
+		Tenants:   tenants,
 	})
 	if err != nil {
 		return err

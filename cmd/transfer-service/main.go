@@ -50,6 +50,7 @@ import (
 	"gridftp.dev/instant/internal/obs/fleet"
 	"gridftp.dev/instant/internal/obs/profile"
 	"gridftp.dev/instant/internal/obs/streamstats"
+	"gridftp.dev/instant/internal/obs/tenant"
 	"gridftp.dev/instant/internal/pam"
 	"gridftp.dev/instant/internal/transfer"
 )
@@ -184,10 +185,19 @@ func run(opts runOptions, o *obs.Obs) error {
 	})
 	defer streams.Close()
 
+	// Tenant accounting plane: one accountant shared by both endpoints
+	// and the scheduler attributes every task, queue wait, command, and
+	// data byte to the submitting credential DN; the publisher feeds the
+	// bounded tenant.<hash>.* series behind /tenants and the dashboard.
+	tenants := tenant.New(tenant.Options{Obs: o})
+	stopTenants := tenants.Start()
+	defer stopTenants()
+
 	var adm *admin.Server
 	if adminAddr != "" {
 		adm = admin.New(o)
 		adm.SetStreamStats(streams)
+		adm.SetTenants(tenants)
 		// Recorder + alert engine + live stream: the queue-wait burn-rate
 		// rule in tsdb.DefaultRules watches this very service's admission
 		// semaphore.
@@ -229,7 +239,7 @@ func run(opts runOptions, o *obs.Obs) error {
 		}
 	}
 	if opts.fleetPush != "" {
-		stopPush := fleet.StartPusher(opts.fleetPush, opts.fleetInstance, o, opts.fleetPushInterval)
+		stopPush := fleet.StartPusher(opts.fleetPush, opts.fleetInstance, o, tenants, opts.fleetPushInterval)
 		defer stopPush()
 	}
 
@@ -246,7 +256,7 @@ func run(opts runOptions, o *obs.Obs) error {
 		ep, err := gcmu.Install(gcmu.Options{
 			Name: name, Host: nw.Host(name), Auth: stack, Accounts: accounts,
 			Storage: faulty, WithOAuth: useOAuth, MarkerInterval: 25 * time.Millisecond,
-			Obs: o, Streams: streams,
+			Obs: o, Streams: streams, Tenants: tenants,
 		})
 		return ep, faulty, err
 	}
@@ -270,6 +280,7 @@ func run(opts runOptions, o *obs.Obs) error {
 		MarkerInterval:     opts.markerInterval,
 		Obs:                o,
 		Streams:            streams,
+		Tenants:            tenants,
 	})
 	for _, ep := range []*gcmu.Endpoint{epA, epB} {
 		if err := svc.RegisterEndpoint(transfer.Endpoint{

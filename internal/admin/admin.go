@@ -12,6 +12,8 @@
 //	/debug/spans   the live span forest as JSON
 //	/debug/events  the structured event ring as JSON (?n= limit, ?type= prefix)
 //	/debug/streams per-stream wire telemetry (stream-health table; ?format=text)
+//	/debug/series  time-series lifecycle inventory: live vs tombstoned series
+//	/tenants       per-DN tenant attribution: top-K table plus sketch summary
 //	/debug/pprof/  the standard on-demand Go profiling endpoints; for the
 //	               retained capture history see /debug/profile/continuous
 //	/debug/profile/continuous  the continuous profiler's window ring
@@ -43,6 +45,7 @@ import (
 	"gridftp.dev/instant/internal/obs/expfmt"
 	"gridftp.dev/instant/internal/obs/profile"
 	"gridftp.dev/instant/internal/obs/streamstats"
+	"gridftp.dev/instant/internal/obs/tenant"
 	"gridftp.dev/instant/internal/obs/tsdb"
 )
 
@@ -81,6 +84,10 @@ type Server struct {
 	// or not this daemon tracks data streams.
 	streams *streamstats.Registry
 
+	// tenants is the per-DN accounting plane behind /tenants
+	// (internal/obs/tenant); nil answers 503.
+	tenants *tenant.Accountant
+
 	srv *http.Server
 	ln  net.Listener
 }
@@ -103,10 +110,13 @@ func New(o *obs.Obs) *Server {
 	s.mux.HandleFunc("/debug/timeseries", s.handleTimeseries)
 	s.mux.HandleFunc("/debug/streams", s.handleStreams)
 	s.mux.HandleFunc("/debug/stream", s.handleStream)
+	s.mux.HandleFunc("/debug/series", s.handleSeries)
+	s.mux.HandleFunc("/tenants", s.handleTenants)
 	s.mux.HandleFunc("/alerts", s.handleAlerts)
 	s.mux.HandleFunc("/fleet/", s.handleFleet)
 	s.mux.HandleFunc("/v1/metrics", s.handleFleet)
 	s.mux.HandleFunc("/v1/profile", s.handleFleet)
+	s.mux.HandleFunc("/v1/tenants", s.handleFleet)
 	s.mux.HandleFunc("/debug/profile/continuous", s.handleProfileContinuous)
 	s.mux.HandleFunc("/debug/profile/continuous/top", s.handleProfileTop)
 	s.mux.HandleFunc("/debug/profile/continuous/diff", s.handleProfileDiff)
@@ -138,6 +148,80 @@ func (s *Server) SetStreamStats(reg *streamstats.Registry) {
 	s.mu.Lock()
 	s.streams = reg
 	s.mu.Unlock()
+}
+
+// SetTenants mounts a per-DN accounting plane (internal/obs/tenant)
+// under /tenants. Nil unmounts; the route then answers 503.
+func (s *Server) SetTenants(a *tenant.Accountant) {
+	s.mu.Lock()
+	s.tenants = a
+	s.mu.Unlock()
+}
+
+// handleTenants serves the top-K tenant attribution table plus sketch
+// summary (capacity, admissions, evictions, max overestimate). ?k=
+// widens or narrows the table; the sketch's configured TopK is the
+// default.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	acct := s.tenants
+	s.mu.Unlock()
+	if acct == nil {
+		http.Error(w, "tenant accounting not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	k := 0
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad k parameter", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	tenants := acct.TopK(k)
+	if tenants == nil {
+		tenants = []tenant.Stat{}
+	}
+	writeJSON(w, map[string]any{
+		"tenants": tenants,
+		"summary": acct.Stats(),
+	})
+}
+
+// handleSeries serves the time-series lifecycle inventory: every series
+// the recorder holds with its state (live or retired), point count, and
+// — for tombstones — when it was retired and when the sweeper will
+// reclaim it. This is the operator's view into cardinality governance:
+// what obs.tsdb.series_active counts, by name.
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rec := s.rec
+	s.mu.Unlock()
+	if rec == nil {
+		http.Error(w, "telemetry recording not enabled", http.StatusServiceUnavailable)
+		return
+	}
+	inv := rec.Inventory()
+	if prefix := r.URL.Query().Get("series"); prefix != "" {
+		kept := inv[:0:0]
+		for _, si := range inv {
+			if strings.HasPrefix(si.Name, prefix) {
+				kept = append(kept, si)
+			}
+		}
+		inv = kept
+	}
+	if inv == nil {
+		inv = []tsdb.SeriesInfo{}
+	}
+	live, tombstoned, retiredTotal := rec.LifecycleStats()
+	writeJSON(w, map[string]any{
+		"series":        inv,
+		"live":          live,
+		"tombstoned":    tombstoned,
+		"retired_total": retiredTotal,
+	})
 }
 
 // handleStreams serves the stream-health table: per-transfer, per-stream
@@ -252,8 +336,11 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /debug/timeseries  recorded series (JSON; ?series= ?since=30s ?step=5s)")
 	fmt.Fprintln(w, "  /debug/stream   live SSE feed (metric deltas, events, alerts)")
 	fmt.Fprintln(w, "  /debug/streams  per-stream wire telemetry / stream-health table (JSON; ?format=text)")
+	fmt.Fprintln(w, "  /debug/series   time-series lifecycle inventory (JSON; ?series= prefix)")
+	fmt.Fprintln(w, "  /tenants        per-DN top-K tenant attribution (JSON; ?k=)")
 	fmt.Fprintln(w, "  /fleet/         fleet federation plane (instances, metrics, timeseries, bundles, profile)")
 	fmt.Fprintln(w, "  /v1/metrics     fleet metric push ingest (POST, expfmt)")
+	fmt.Fprintln(w, "  /v1/tenants     fleet tenant-table push ingest (POST, JSON)")
 	fmt.Fprintln(w, "  /debug/profile/continuous  continuous profiler windows (JSON; /top /diff /raw)")
 	fmt.Fprintln(w, "  /debug/pprof/   on-demand Go profiling (continuous history: /debug/profile/continuous)")
 }

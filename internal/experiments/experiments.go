@@ -22,6 +22,7 @@ import (
 	"gridftp.dev/instant/internal/gsi"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs/streamstats"
+	"gridftp.dev/instant/internal/obs/tenant"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -130,6 +131,9 @@ type siteOptions struct {
 	// streams, when non-nil, installs per-stream wire telemetry on the
 	// server's data path (the E18 overhead experiment).
 	streams *streamstats.Registry
+	// tenants, when non-nil, installs per-DN accounting on the server's
+	// command and data paths (the E20 overhead experiment).
+	tenants *tenant.Accountant
 }
 
 // newSite builds a GridFTP site with CA, host cred, one user "alice".
@@ -171,6 +175,7 @@ func newSite(nw *netsim.Network, name string, opts siteOptions) (*site, error) {
 		EndpointName:        name,
 		DisableChannelCache: opts.disableCache,
 		Streams:             opts.streams,
+		Tenants:             opts.tenants,
 	}
 	s := &site{
 		name: name, ca: ca, trust: trust, host: nw.Host(name),

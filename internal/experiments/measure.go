@@ -6,6 +6,7 @@ import (
 	"gridftp.dev/instant/internal/gridftp"
 	"gridftp.dev/instant/internal/netsim"
 	"gridftp.dev/instant/internal/obs/streamstats"
+	"gridftp.dev/instant/internal/obs/tenant"
 )
 
 // Exported single-measurement entry points for the root benchmark harness
@@ -75,4 +76,12 @@ func MeasureBlockSizeRate(cfg AblationBlockSizeConfig, blockSize int) (float64, 
 // cost on a WAN.
 func MeasureStreamTelemetryRate(link netsim.LinkParams, fileBytes, parallelism int, reg *streamstats.Registry) (float64, error) {
 	return streamTelemetryRate(link, fileBytes, parallelism, reg)
+}
+
+// MeasureTenantAttributionRate runs one parallel download with per-DN
+// tenant accounting installed on the server (acct != nil, publisher
+// running) or absent (acct == nil) — the E20 overhead measurement on
+// the same path as E2/p16.
+func MeasureTenantAttributionRate(link netsim.LinkParams, fileBytes, parallelism int, acct *tenant.Accountant) (float64, error) {
+	return tenantAttributionRate(link, fileBytes, parallelism, acct)
 }

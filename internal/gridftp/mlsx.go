@@ -33,7 +33,10 @@ func ParseMlsxLine(line string) (MlsxEntry, error) {
 			e.IsDir = strings.EqualFold(v, "dir")
 		case "size":
 			n, err := strconv.ParseInt(v, 10, 64)
-			if err != nil {
+			if err != nil || n < 0 {
+				// The size is untrusted remote input that flows straight
+				// into transfer planning (WalkEntries) and progress math; a
+				// negative one must not survive parsing.
 				return MlsxEntry{}, fmt.Errorf("gridftp: bad Size in %q", line)
 			}
 			e.Size = n

@@ -1,0 +1,46 @@
+package gridftp
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMlsxLine throws arbitrary fact lines at the MLSD/MLST parser.
+// Fact lines are untrusted remote input — any server a client lists can
+// emit them — and the parsed entries flow directly into transfer
+// planning (WalkEntries sizes every file from the Size fact, recursion
+// follows every IsDir). The parser must never panic, must never accept
+// an entry without a name or Type fact, and must never hand planning a
+// negative size.
+func FuzzParseMlsxLine(f *testing.F) {
+	f.Add("Type=file;Size=1048576;Modify=20120131123001; data.bin")
+	f.Add("Type=dir;Modify=20120131123001; subdir")
+	f.Add("type=FILE;size=0; empty")
+	f.Add("Type=file;Size=-5; evil")
+	f.Add("Type=file;Size=999999999999999999999999; huge")
+	f.Add("Size=10; no-type")
+	f.Add("Type=file;Size=1; name with spaces")
+	f.Add("Type=file;;=;Size=2;junk; x")
+	f.Add("")
+	f.Add(" ")
+	f.Add("Type=file;Size=1;")
+	f.Add("Type=file;Size=1; \x00\xff")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		e, err := ParseMlsxLine(line)
+		if err != nil {
+			return
+		}
+		if e.Name == "" {
+			t.Fatalf("accepted entry with empty name from %q", line)
+		}
+		if e.Size < 0 {
+			t.Fatalf("accepted negative size %d from %q", e.Size, line)
+		}
+		// Accepted lines must round-trip through the fact grammar the
+		// parser itself defines: facts, one space, name.
+		if !strings.Contains(line, " ") {
+			t.Fatalf("accepted line without fact/name separator: %q", line)
+		}
+	})
+}

@@ -17,15 +17,15 @@ func FuzzReadBlock(f *testing.F) {
 		copy(b[blockHeaderLen:], payload)
 		return b
 	}
-	f.Add([]byte{})                                              // empty stream
-	f.Add([]byte{DescEOD, 0x00, 0x01})                           // truncated header
-	f.Add(frame(DescEOF, 0, 4, nil))                             // EOF control: stream count in offset
-	f.Add(frame(DescEOD, 0, 0, nil))                             // EOD control
-	f.Add(frame(DescEOF|DescEOD, 0, 1, nil))                     // EOF+EOD combo
-	f.Add(frame(DescRestartable, 5, 1024, []byte("hello")))      // ordinary data block
-	f.Add(frame(DescRestartable|DescEOD, 3, 0, []byte("end")))   // data block closing its stream
-	f.Add(frame(DescRestartable, 1<<40, 0, nil))                 // oversize count
-	f.Add(frame(0, 8, 0, []byte("shrt")))                        // count larger than payload
+	f.Add([]byte{})                                                           // empty stream
+	f.Add([]byte{DescEOD, 0x00, 0x01})                                        // truncated header
+	f.Add(frame(DescEOF, 0, 4, nil))                                          // EOF control: stream count in offset
+	f.Add(frame(DescEOD, 0, 0, nil))                                          // EOD control
+	f.Add(frame(DescEOF|DescEOD, 0, 1, nil))                                  // EOF+EOD combo
+	f.Add(frame(DescRestartable, 5, 1024, []byte("hello")))                   // ordinary data block
+	f.Add(frame(DescRestartable|DescEOD, 3, 0, []byte("end")))                // data block closing its stream
+	f.Add(frame(DescRestartable, 1<<40, 0, nil))                              // oversize count
+	f.Add(frame(0, 8, 0, []byte("shrt")))                                     // count larger than payload
 	f.Add(append(frame(0, 2, 0, []byte("ab")), frame(DescEOD, 0, 0, nil)...)) // two blocks back to back
 
 	f.Fuzz(func(t *testing.T, raw []byte) {

@@ -118,6 +118,15 @@ type instanceState struct {
 	histBase    map[string]obs.HistogramSnapshot
 	histRaw     map[string]obs.HistogramSnapshot
 
+	// Per-tenant accounting tables pushed via POST /v1/tenants, under the
+	// same epoch discipline as counters: tenantRaw is the current
+	// incarnation as reported, tenantBase the folded prior incarnations
+	// (process restarts fold everything; a per-DN counter running
+	// backwards — the pusher's sketch evicted and readmitted that DN —
+	// folds just that DN). See tenants.go.
+	tenantBase map[string]tenantCounters
+	tenantRaw  map[string]tenantCounters
+
 	goodputPrev float64 // effective goodput-counter sum at the last Tick
 	goodputRate float64 // bytes/sec over the last Tick interval
 }
@@ -260,24 +269,9 @@ func (s *Service) Ingest(instance, addr string, snap expfmt.Snapshot, now time.T
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	inst, ok := s.instances[instance]
-	if !ok {
-		if len(s.instances) >= maxInstances {
-			return fmt.Errorf("fleet: instance registry full (%d), rejecting %q", maxInstances, instance)
-		}
-		inst = &instanceState{
-			name: instance, firstSeen: now,
-			gauges:      make(map[string]int64),
-			counterBase: make(map[string]int64),
-			counterRaw:  make(map[string]int64),
-			histBase:    make(map[string]obs.HistogramSnapshot),
-			histRaw:     make(map[string]obs.HistogramSnapshot),
-		}
-		s.instances[instance] = inst
-		s.o.EventLog().Append("fleet.instance.joined", "instance", instance, "addr", addr)
-	}
-	if addr != "" {
-		inst.addr = addr
+	inst, err := s.lockedInstance(instance, addr, now)
+	if err != nil {
+		return err
 	}
 
 	// Restart detection: a changed start time is authoritative; a counter
@@ -300,6 +294,7 @@ func (s *Service) Ingest(instance, addr string, snap expfmt.Snapshot, now time.T
 		}
 		inst.counterRaw = make(map[string]int64)
 		inst.histRaw = make(map[string]obs.HistogramSnapshot)
+		inst.foldTenants()
 		inst.restarts++
 		s.o.EventLog().Append("fleet.instance.restarted", "instance", instance,
 			"restarts", fmt.Sprintf("%d", inst.restarts))
@@ -323,6 +318,34 @@ func (s *Service) Ingest(instance, addr string, snap expfmt.Snapshot, now time.T
 	inst.stale = false
 	inst.pushes++
 	return nil
+}
+
+// lockedInstance returns the named instance record, registering it when
+// new. The caller holds s.mu. Shared by the metric and tenant ingest
+// paths so either kind of push can introduce an instance.
+func (s *Service) lockedInstance(instance, addr string, now time.Time) (*instanceState, error) {
+	inst, ok := s.instances[instance]
+	if !ok {
+		if len(s.instances) >= maxInstances {
+			return nil, fmt.Errorf("fleet: instance registry full (%d), rejecting %q", maxInstances, instance)
+		}
+		inst = &instanceState{
+			name: instance, firstSeen: now,
+			gauges:      make(map[string]int64),
+			counterBase: make(map[string]int64),
+			counterRaw:  make(map[string]int64),
+			histBase:    make(map[string]obs.HistogramSnapshot),
+			histRaw:     make(map[string]obs.HistogramSnapshot),
+			tenantBase:  make(map[string]tenantCounters),
+			tenantRaw:   make(map[string]tenantCounters),
+		}
+		s.instances[instance] = inst
+		s.o.EventLog().Append("fleet.instance.joined", "instance", instance, "addr", addr)
+	}
+	if addr != "" {
+		inst.addr = addr
+	}
+	return inst, nil
 }
 
 // effectiveCounter is the instance's restart-proof counter value.

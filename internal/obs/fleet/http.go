@@ -5,10 +5,12 @@ import (
 	"net/http"
 	"path"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
 	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/tenant"
 )
 
 // Handler returns the federation head's HTTP plane, mounted by the admin
@@ -31,10 +33,17 @@ import (
 //	                            naming as /v1/metrics)
 //	GET  /fleet/profile         merged fleet-wide hot-function rankings
 //	                            with per-instance summaries (?n= top size)
+//	POST /v1/tenants            ingest one tenant accounting table (JSON
+//	                            []tenant.Stat, same instance naming as
+//	                            /v1/metrics)
+//	GET  /fleet/tenants         fleet-merged top tenants by bytes moved
+//	                            (?k= table size, default 10)
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/metrics", s.handlePush)
 	mux.HandleFunc("/v1/profile", s.handleProfilePush)
+	mux.HandleFunc("/v1/tenants", s.handleTenantsPush)
+	mux.HandleFunc("/fleet/tenants", s.handleTenants)
 	mux.HandleFunc("/fleet/profile", s.handleProfile)
 	mux.HandleFunc("/fleet/instances", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Instances())
@@ -76,6 +85,45 @@ func (s *Service) handlePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleTenantsPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	instance := r.Header.Get("X-Fleet-Instance")
+	if instance == "" {
+		instance = r.URL.Query().Get("instance")
+	}
+	if instance == "" {
+		http.Error(w, "missing instance (X-Fleet-Instance header or ?instance=)", http.StatusBadRequest)
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	var table []tenant.Stat
+	if err := json.NewDecoder(body).Decode(&table); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.IngestTenants(instance, r.RemoteAddr, table, s.opts.Now()); err != nil {
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Service) handleTenants(w http.ResponseWriter, r *http.Request) {
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+		k = n
+	}
+	writeJSON(w, map[string]any{"tenants": s.Tenants(k)})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

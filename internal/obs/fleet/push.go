@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/tenant"
 )
 
 // This file is the exporter side of federation: daemons push their own
@@ -45,17 +47,51 @@ func Push(url, instance string, reg *obs.Registry) error {
 	return nil
 }
 
+// PushTenants exports acct's full sketch table once to a fleet head's
+// POST /v1/tenants under the given instance name. The full table (not
+// a truncated top-K) ships so the head can merge exact per-DN
+// aggregates; a nil or empty accountant pushes nothing.
+func PushTenants(url, instance string, acct *tenant.Accountant) error {
+	table := acct.Table()
+	if len(table) == 0 {
+		return nil
+	}
+	body, err := json.Marshal(table)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Fleet-Instance", instance)
+	resp, err := pushClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: tenant push to %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("fleet: tenant push to %s: %s", url, resp.Status)
+	}
+	return nil
+}
+
 // StartPusher pushes o's registry to url every interval until the
 // returned stop function is called. When o carries a continuous
 // profiler, its newest summary rides along to the sibling /v1/profile
-// endpoint on every tick. Push failures are logged at debug (the head
-// may simply not be up yet) and retried on the next tick; a final push
-// runs on stop so short-lived processes still report their last state.
-func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop func()) {
+// endpoint on every tick; when acct is non-nil, its tenant table rides
+// along to /v1/tenants the same way. Push failures are logged at debug
+// (the head may simply not be up yet) and retried on the next tick; a
+// final push runs on stop so short-lived processes still report their
+// last state.
+func StartPusher(url, instance string, o *obs.Obs, acct *tenant.Accountant, interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Second
 	}
 	profileURL := profilePushURL(url)
+	tenantURL := tenantPushURL(url)
 	pushAll := func() {
 		if err := Push(url, instance, o.Registry()); err != nil {
 			o.Logger().Debug("fleet: push failed", "url", url, "err", err.Error())
@@ -63,6 +99,11 @@ func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop
 		if sum, ok := o.Profiler().ProfileSummary(); ok {
 			if err := PushProfile(profileURL, instance, sum); err != nil {
 				o.Logger().Debug("fleet: profile push failed", "url", profileURL, "err", err.Error())
+			}
+		}
+		if acct != nil {
+			if err := PushTenants(tenantURL, instance, acct); err != nil {
+				o.Logger().Debug("fleet: tenant push failed", "url", tenantURL, "err", err.Error())
 			}
 		}
 	}
@@ -95,6 +136,14 @@ func StartPusher(url, instance string, o *obs.Obs, interval time.Duration) (stop
 func profilePushURL(metricsURL string) string {
 	if strings.HasSuffix(metricsURL, "/v1/metrics") {
 		return strings.TrimSuffix(metricsURL, "/v1/metrics") + "/v1/profile"
+	}
+	return metricsURL
+}
+
+// tenantPushURL derives the /v1/tenants ingest URL the same way.
+func tenantPushURL(metricsURL string) string {
+	if strings.HasSuffix(metricsURL, "/v1/metrics") {
+		return strings.TrimSuffix(metricsURL, "/v1/metrics") + "/v1/tenants"
 	}
 	return metricsURL
 }

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"gridftp.dev/instant/internal/obs"
+	"gridftp.dev/instant/internal/obs/expfmt"
+	"gridftp.dev/instant/internal/obs/tenant"
+)
+
+func tstat(dn string, bytes int64, active int64) tenant.Stat {
+	return tenant.Stat{DN: dn, Weight: bytes, Bytes: bytes, Active: active}
+}
+
+// TestTenantsMergeAcrossInstances: per-DN sums across pushers, heaviest
+// first, with Share computed against fleet bytes and ranks assigned
+// after the merge.
+func TestTenantsMergeAcrossInstances(t *testing.T) {
+	now := time.Unix(10000, 0)
+	s := New(Options{Obs: obs.Nop(), Now: func() time.Time { return now }})
+
+	if err := s.IngestTenants("i1", "", []tenant.Stat{tstat("A", 100, 2), tstat("B", 50, 1)}, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.IngestTenants("i2", "", []tenant.Stat{tstat("A", 30, 1)}, now); err != nil {
+		t.Fatal(err)
+	}
+
+	got := s.Tenants(0)
+	if len(got) != 2 {
+		t.Fatalf("Tenants = %+v, want A and B", got)
+	}
+	a, b := got[0], got[1]
+	if a.DN != "A" || a.Rank != 1 || a.Bytes != 130 || a.Active != 3 {
+		t.Fatalf("merged A = %+v, want bytes 130, active 3, rank 1", a)
+	}
+	if want := 130.0 / 180.0; a.Share != want {
+		t.Fatalf("A share %v, want %v", a.Share, want)
+	}
+	if b.DN != "B" || b.Rank != 2 || b.Bytes != 50 {
+		t.Fatalf("merged B = %+v", b)
+	}
+	if a.Hash != tenant.Hash("A") {
+		t.Fatalf("merged hash %q does not match the daemon-side series hash", a.Hash)
+	}
+}
+
+// TestTenantsPerDNFold: one DN's counters running backwards means the
+// pusher's sketch evicted and readmitted that DN — fold only that DN's
+// finished incarnation, leaving the other tenants' raw counters alone.
+func TestTenantsPerDNFold(t *testing.T) {
+	now := time.Unix(20000, 0)
+	s := New(Options{Obs: obs.Nop(), Now: func() time.Time { return now }})
+
+	s.IngestTenants("i1", "", []tenant.Stat{tstat("A", 100, 0), tstat("B", 50, 0)}, now)
+	// A went backwards (evicted, readmitted at 20); B simply advanced.
+	s.IngestTenants("i1", "", []tenant.Stat{tstat("A", 20, 0), tstat("B", 60, 0)}, now.Add(time.Second))
+
+	byDN := map[string]tenant.Stat{}
+	for _, st := range s.Tenants(0) {
+		byDN[st.DN] = st
+	}
+	if byDN["A"].Bytes != 120 {
+		t.Fatalf("A after per-DN fold = %d bytes, want 120 (100 folded + 20 new incarnation)", byDN["A"].Bytes)
+	}
+	if byDN["B"].Bytes != 60 {
+		t.Fatalf("B = %d bytes, want 60 (raw replaced, NOT folded — B never reset)", byDN["B"].Bytes)
+	}
+}
+
+// TestTenantsRestartFold: a process restart detected by the metric path
+// (process.start_time_seconds changed) folds the whole tenant table, so
+// the post-restart push — every DN starting over — keeps fleet totals
+// monotone.
+func TestTenantsRestartFold(t *testing.T) {
+	now := time.Unix(30000, 0)
+	s := New(Options{Obs: obs.Nop(), Now: func() time.Time { return now }})
+	snap := func(start int64) expfmt.Snapshot {
+		return expfmt.Snapshot{Metrics: []obs.Metric{
+			{Name: "process.start_time_seconds", Kind: "gauge", Value: start},
+		}}
+	}
+
+	s.Ingest("i1", "", snap(100), now)
+	s.IngestTenants("i1", "", []tenant.Stat{tstat("A", 500, 1), tstat("B", 5, 0)}, now)
+
+	// Restart: new start time arrives on the metric plane, then the new
+	// incarnation's first tenant push (A back at 80, B gone entirely).
+	now = now.Add(time.Second)
+	s.Ingest("i1", "", snap(200), now)
+	s.IngestTenants("i1", "", []tenant.Stat{tstat("A", 80, 1)}, now)
+
+	byDN := map[string]tenant.Stat{}
+	for _, st := range s.Tenants(0) {
+		byDN[st.DN] = st
+	}
+	if byDN["A"].Bytes != 580 {
+		t.Fatalf("A across restart = %d bytes, want 580 (500 folded + 80 new epoch)", byDN["A"].Bytes)
+	}
+	if byDN["B"].Bytes != 5 {
+		t.Fatalf("B = %d bytes, want the folded 5 even though the new epoch never re-pushed it", byDN["B"].Bytes)
+	}
+	if byDN["A"].Active != 1 {
+		t.Fatalf("A active = %d, want 1 (gauge from the live incarnation only)", byDN["A"].Active)
+	}
+}
+
+// TestTenantsStaleInstance: a silent instance keeps its cumulative
+// contribution frozen in the fleet sums, but its gauge-like Active
+// count drops out — same discipline as the counter plane.
+func TestTenantsStaleInstance(t *testing.T) {
+	now := time.Unix(40000, 0)
+	s := New(Options{Obs: obs.Nop(), Now: func() time.Time { return now }})
+
+	s.IngestTenants("live", "", []tenant.Stat{tstat("A", 100, 2)}, now)
+	s.IngestTenants("gone", "", []tenant.Stat{tstat("A", 40, 5)}, now)
+
+	// Past StaleAfter with only "live" still pushing.
+	now = now.Add(time.Minute)
+	s.IngestTenants("live", "", []tenant.Stat{tstat("A", 100, 2)}, now)
+	s.Tick(now)
+
+	got := s.Tenants(0)
+	if len(got) != 1 {
+		t.Fatalf("Tenants = %+v", got)
+	}
+	if got[0].Bytes != 140 {
+		t.Fatalf("A bytes = %d, want 140 (stale instance's cumulative sum stays frozen)", got[0].Bytes)
+	}
+	if got[0].Active != 2 {
+		t.Fatalf("A active = %d, want 2 (stale instance's gauge dropped)", got[0].Active)
+	}
+}
+
+// TestTenantsTruncationAndCap: k truncates after the merge-wide sort
+// (ranks 1..k), and a pusher inventing DNs cannot grow the head past
+// maxTenantsPerInstance.
+func TestTenantsTruncationAndCap(t *testing.T) {
+	now := time.Unix(50000, 0)
+	s := New(Options{Obs: obs.Nop(), Now: func() time.Time { return now }})
+
+	table := make([]tenant.Stat, 0, maxTenantsPerInstance+100)
+	for i := 0; i < maxTenantsPerInstance+100; i++ {
+		table = append(table, tstat(fmt.Sprintf("/CN=flood-%05d", i), int64(i+1), 0))
+	}
+	if err := s.IngestTenants("flood", "", table, now); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Tenants(maxTenantsPerInstance * 2)); got > maxTenantsPerInstance {
+		t.Fatalf("head holds %d tenants for one instance, cap %d", got, maxTenantsPerInstance)
+	}
+
+	top := s.Tenants(3)
+	if len(top) != 3 {
+		t.Fatalf("Tenants(3) = %d entries", len(top))
+	}
+	for i, st := range top {
+		if st.Rank != i+1 {
+			t.Fatalf("rank at %d = %d", i, st.Rank)
+		}
+	}
+	if top[0].Bytes <= top[1].Bytes || top[1].Bytes <= top[2].Bytes {
+		t.Fatalf("top-3 not heaviest-first: %+v", top)
+	}
+
+	// Empty DNs and empty instance names are rejected/skipped.
+	if err := s.IngestTenants("", "", table[:1], now); err == nil {
+		t.Fatal("ingest without instance name must error")
+	}
+	s.IngestTenants("flood", "", []tenant.Stat{{DN: "", Bytes: 9}}, now)
+	for _, st := range s.Tenants(1) {
+		if st.DN == "" {
+			t.Fatal("empty DN leaked into the merged table")
+		}
+	}
+}

@@ -343,9 +343,19 @@ func (t *Transfer) Done(err error) {
 
 	r := t.reg
 	r.mu.Lock()
+	labelLive := false
 	for i, a := range r.active {
 		if a == t {
 			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	// Successive files of one task Begin under the same label and reuse
+	// the same series names; only retire the label's timelines when no
+	// active transfer is still writing them.
+	for _, a := range r.active {
+		if a.label == t.label {
+			labelLive = true
 			break
 		}
 	}
@@ -354,6 +364,13 @@ func (t *Transfer) Done(err error) {
 		r.recent = r.recent[len(r.recent)-n:]
 	}
 	r.mu.Unlock()
+	if !labelLive {
+		// Lifecycle half of the poller's series mints: tombstone
+		// "gridftp.stream.<label>.*" (per-stream throughput/rtt/
+		// retransmits). The recorder keeps them queryable for its
+		// horizon; the next transfer under this label re-mints.
+		r.opts.Obs.RetireSeries(SeriesPrefix + t.label + ".")
+	}
 	t.finishStreams(r.opts.Obs.EventLog())
 }
 

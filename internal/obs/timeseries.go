@@ -32,6 +32,35 @@ func (o *Obs) TimeSeries() SeriesSink {
 	return o.Series
 }
 
+// SeriesRetirer is the optional lifecycle half of a SeriesSink: sinks
+// that govern series memory (internal/obs/tsdb) implement it so mint
+// sites can hand back what they minted. Declared here, like SeriesSink,
+// to keep the dependency arrow pointing at obs — the transfer scheduler
+// and streamstats retire task/stream timelines through this interface
+// without importing the recorder.
+type SeriesRetirer interface {
+	// RetireSeries tombstones every series whose name matches prefix
+	// (exact or name-prefix) and returns how many it tombstoned.
+	// Retired series stay queryable for the sink's grace horizon, then
+	// their memory is reclaimed; a fresh Observe re-mints.
+	RetireSeries(prefix string) int
+}
+
+// RetireSeries retires every series under prefix when the attached sink
+// supports lifecycle governance; it is a no-op (returning 0) on a nil
+// bundle, a missing sink, or a sink without a lifecycle. Producers call
+// it at teardown mirroring the TimeSeries().Observe calls that minted
+// the series.
+func (o *Obs) RetireSeries(prefix string) int {
+	if o == nil || o.Series == nil {
+		return 0
+	}
+	if rt, ok := o.Series.(SeriesRetirer); ok {
+		return rt.RetireSeries(prefix)
+	}
+	return 0
+}
+
 // processStart anchors the process.* metrics: one value per process, set
 // at init so every registry that registers the process metrics reports
 // the same start time.

@@ -1,0 +1,154 @@
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the recorder's series lifecycle governance. Series are
+// minted implicitly on first Observe, which is the right ergonomics for
+// telemetry producers but — unchecked — an unbounded-memory liability:
+// per-task ("transfer.task.<id>.*") and per-transfer
+// ("gridftp.stream.<label>.*") timelines accumulate forever at fleet
+// scale. Retire gives mint sites a teardown half:
+//
+//	live --Retire--> tombstoned --horizon elapses--> reclaimed
+//	        ^            |
+//	        +--Observe---+   (revive: a straggler re-mints in place)
+//
+// A tombstoned series keeps serving Query/Latest/DumpSeries until
+// RetireHorizon elapses (the grace window for dashboards and For-based
+// alert hysteresis), then the background sweep deletes it — and its
+// sampler delta baselines — outright. An Observe after reclaim mints a
+// brand-new series under the old name with no history, which is exactly
+// re-mint semantics: lifecycle state is per-incarnation, not per-name.
+
+// Retire tombstones every live series matching prefix (exact name or
+// name prefix, same matching as DumpSeries) as of now, and returns how
+// many series it tombstoned. Already-tombstoned series are left on
+// their original clock. Retire implements the write half of
+// obs.SeriesRetirer via RetireSeries.
+func (r *Recorder) Retire(prefix string) int {
+	return r.RetireAt(prefix, time.Now())
+}
+
+// RetireAt is Retire on an explicit clock — the testable entry point,
+// mirroring how Engine.Eval takes synthetic times.
+func (r *Recorder) RetireAt(prefix string, now time.Time) int {
+	if r == nil || prefix == "" {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for name, s := range r.series {
+		if !matchesAny(name, []string{prefix}) || !s.retiredAt.IsZero() {
+			continue
+		}
+		s.retiredAt = now
+		r.retiredTotal++
+		n++
+	}
+	return n
+}
+
+// RetireSeries adapts Retire to the obs.SeriesRetirer interface so
+// producers holding only an obs.SeriesSink (the transfer scheduler,
+// streamstats) can retire their series without importing tsdb.
+func (r *Recorder) RetireSeries(prefix string) int { return r.Retire(prefix) }
+
+// Sweep reclaims every tombstoned series whose horizon has elapsed at
+// now and returns how many it deleted. The registry sampling pass calls
+// it on every tick; it is exported for synthetic-clock tests.
+func (r *Recorder) Sweep(now time.Time) int {
+	if r == nil {
+		return 0
+	}
+	r.smu.Lock()
+	defer r.smu.Unlock()
+	return r.sweepBaselines(now)
+}
+
+// sweepBaselines does the reclaim under smu (already held by the
+// sampling pass): deletes expired series under mu, then drops the
+// sampler's delta baselines for derived series so a later re-mint
+// starts from a fresh baseline instead of a stale cumulative value.
+func (r *Recorder) sweepBaselines(now time.Time) int {
+	r.mu.Lock()
+	var reclaimed []string
+	for name, s := range r.series {
+		if !s.retiredAt.IsZero() && !now.Before(s.retiredAt.Add(r.opts.RetireHorizon)) {
+			delete(r.series, name)
+			reclaimed = append(reclaimed, name)
+		}
+	}
+	r.mu.Unlock()
+	for _, name := range reclaimed {
+		// "<counter>.rate" and "<histogram>.rate/.p50/.p90/.p99" series
+		// carry per-name cumulative baselines in the sampler.
+		if base, ok := strings.CutSuffix(name, ".rate"); ok {
+			delete(r.lastCounters, base)
+			delete(r.lastBuckets, base)
+		}
+		for _, q := range [...]string{".p50", ".p90", ".p99"} {
+			if base, ok := strings.CutSuffix(name, q); ok {
+				delete(r.lastBuckets, base)
+			}
+		}
+	}
+	return len(reclaimed)
+}
+
+// LifecycleStats reports the recorder's cardinality counters: live is
+// the number of series currently serving queries (including tombstoned
+// ones still inside their horizon), tombstoned how many of those are
+// awaiting reclaim, and retiredTotal the cumulative tombstones created
+// over the recorder's life.
+func (r *Recorder) LifecycleStats() (live, tombstoned int, retiredTotal int64) {
+	if r == nil {
+		return 0, 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.series {
+		if !s.retiredAt.IsZero() {
+			tombstoned++
+		}
+	}
+	return len(r.series), tombstoned, r.retiredTotal
+}
+
+// SeriesInfo is one series in the /debug/series inventory: its
+// lifecycle state, retained point count, and — for tombstoned series —
+// when it was retired and when the sweep will reclaim it.
+type SeriesInfo struct {
+	Name      string     `json:"name"`
+	State     string     `json:"state"` // "live" | "retired"
+	Points    int        `json:"points"`
+	RetiredAt *time.Time `json:"retired_at,omitempty"`
+	ReclaimAt *time.Time `json:"reclaim_at,omitempty"`
+}
+
+// Inventory returns every series' lifecycle record, sorted by name —
+// the cardinality-debugging view behind GET /debug/series.
+func (r *Recorder) Inventory() []SeriesInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]SeriesInfo, 0, len(r.series))
+	for name, s := range r.series {
+		info := SeriesInfo{Name: name, State: "live", Points: s.raw.n + s.agg.n}
+		if !s.retiredAt.IsZero() {
+			info.State = "retired"
+			at := s.retiredAt
+			reclaim := s.retiredAt.Add(r.opts.RetireHorizon)
+			info.RetiredAt, info.ReclaimAt = &at, &reclaim
+		}
+		out = append(out, info)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -49,6 +49,12 @@ type Options struct {
 	AggStep time.Duration
 	// AggRetention is the aggregated tier's span (default 2h).
 	AggRetention time.Duration
+	// RetireHorizon is how long a retired (tombstoned) series stays
+	// queryable before its memory is reclaimed (default 1m). The horizon
+	// is the grace window: dashboards and alert rules keep seeing the
+	// final points of a completed task's timeline for RetireHorizon, then
+	// the series disappears from the map entirely.
+	RetireHorizon time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.AggStep < o.RawStep {
 		o.AggStep = o.RawStep
+	}
+	if o.RetireHorizon <= 0 {
+		o.RetireHorizon = time.Minute
 	}
 	return o
 }
@@ -152,6 +161,13 @@ type series struct {
 	bucketStart time.Time // zero when no bucket is open
 	bucketSum   float64
 	bucketN     int
+
+	// retiredAt is the series' lifecycle tombstone: zero while live,
+	// set by Retire. A tombstoned series keeps serving queries until
+	// retiredAt+RetireHorizon, when the sweep reclaims it. A fresh
+	// Observe before the sweep revives the series (re-mint in place);
+	// one after the sweep mints a brand-new series under the old name.
+	retiredAt time.Time
 }
 
 // Recorder is the concurrency-safe recorder. The zero value is not
@@ -159,8 +175,9 @@ type series struct {
 type Recorder struct {
 	opts Options
 
-	mu     sync.Mutex
-	series map[string]*series
+	mu           sync.Mutex
+	series       map[string]*series
+	retiredTotal int64 // cumulative tombstones created (survives reclaim)
 
 	// Sampler state: previous cumulative values, so counters and
 	// histogram buckets turn into windowed rates/quantiles.
@@ -216,6 +233,7 @@ func (r *Recorder) Observe(name string, t time.Time, v float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s := r.seriesFor(name)
+	s.retiredAt = time.Time{} // a fresh observation revives a tombstoned series
 	s.raw.insert(Point{T: t, V: v})
 	r.aggregate(s, t, v)
 }
@@ -400,6 +418,7 @@ func (r *Recorder) SampleSnapshot(metrics []obs.Metric, hists []obs.HistogramSna
 	}
 	r.smu.Lock()
 	defer r.smu.Unlock()
+	r.sweepBaselines(now) // reclaim tombstoned series past their horizon
 	interval := now.Sub(r.lastSample)
 	first := r.lastSample.IsZero()
 	r.lastSample = now
@@ -444,6 +463,13 @@ func (r *Recorder) SampleSnapshot(metrics []obs.Metric, hists []obs.HistogramSna
 			r.Observe(h.Name+q.suffix, now, v)
 		}
 	}
+
+	// Self-accounting: the recorder's own cardinality, recorded as
+	// series so the watermark alert (DefaultRules) and dashboards see
+	// them on any sampled recorder — daemon or fleet head alike.
+	live, _, retired := r.LifecycleStats()
+	r.Observe("obs.tsdb.series_active", now, float64(live))
+	r.Observe("obs.tsdb.series_retired_total", now, float64(retired))
 }
 
 // windowCounts computes the cumulative bucket counts of the window

@@ -464,13 +464,17 @@ func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
 	if r.parent != nil {
 		traceID = r.parent.TraceID.String()
 	}
+	wait := time.Since(waitStart)
 	reg.Histogram("transfer.queue_wait_seconds", obs.DefaultDurationBuckets).
-		ObserveExemplar(time.Since(waitStart).Seconds(), traceID)
+		ObserveExemplar(wait.Seconds(), traceID)
+	s.cfg.Tenants.QueueWait(r.task.DN, wait)
+	s.cfg.Tenants.TransferStarted(r.task.DN)
 	active := reg.Gauge("transfer.active_transfers")
 	active.Add(1)
 	reg.Gauge("transfer.active_transfers_peak").Max(active.Value())
 	defer func() {
 		active.Add(-1)
+		s.cfg.Tenants.TransferEnded(r.task.DN)
 		<-s.sem
 	}()
 
@@ -535,6 +539,7 @@ func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
 		r.plan.saveMarkers(i, latest)
 		s.update(r.task, func(t *Task) { t.BytesTransferred += movedNow })
 		reg.Counter("transfer.bytes_total").Add(movedNow)
+		s.cfg.Tenants.BytesMoved(r.task.DN, movedNow)
 		return terr
 	}
 	dataSpan.End()
@@ -548,6 +553,7 @@ func (s *Service) transferOne(r workerRun, pair *sessionPair, i int) error {
 	})
 	reg.Counter("transfer.bytes_total").Add(f.size - already)
 	reg.Counter("transfer.files_total").Inc()
+	s.cfg.Tenants.BytesMoved(r.task.DN, f.size-already)
 	return nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"gridftp.dev/instant/internal/obs"
 	"gridftp.dev/instant/internal/obs/eventlog"
 	"gridftp.dev/instant/internal/obs/streamstats"
+	"gridftp.dev/instant/internal/obs/tenant"
 	"gridftp.dev/instant/internal/pam"
 )
 
@@ -56,8 +57,13 @@ const (
 
 // Task is one submitted transfer.
 type Task struct {
-	ID       string
-	User     string
+	ID   string
+	User string
+	// DN is the tenant identity: the distinguished name of the user's
+	// activation credential on the source endpoint, captured at submit.
+	// It is what the per-tenant accounting plane keys on — usernames are
+	// per-endpoint local accounts, the DN is the global identity.
+	DN       string
 	Src, Dst string // endpoint names
 	SrcPath  string
 	DstPath  string
@@ -124,6 +130,17 @@ type Config struct {
 	// in-process simulation shape — publish their data streams under it.
 	// Nil disables wire-evidence records.
 	Streams *streamstats.Registry
+	// Tenants is the per-DN accounting plane: submissions, outcomes,
+	// queue waits, active transfers, and bytes moved are attributed to
+	// the task's credential DN. Nil disables attribution.
+	Tenants *tenant.Accountant
+	// RetireGrace delays the retirement of a completed task's
+	// "transfer.task.<id>.*" series past the terminal state, for
+	// stragglers (late PERF markers from a worker still draining).
+	// Retirement itself is soft — the recorder keeps tombstoned series
+	// queryable for its RetireHorizon — so the default 0 retires at
+	// completion and lets the horizon be the grace window.
+	RetireGrace time.Duration
 }
 
 // Service is the hosted transfer service.
@@ -318,11 +335,18 @@ func (s *Service) Submit(user, srcEndpoint, srcPath, dstEndpoint, dstPath string
 	if !s.Activated(srcEndpoint, user) || !s.Activated(dstEndpoint, user) {
 		return nil, errors.New("transfer: both endpoints must be activated first")
 	}
+	// The tenant identity is the DN of the activation credential just
+	// verified above; endpoint-local usernames are not globally unique.
+	var dn string
+	if cred, err := s.credentialFor(srcEndpoint, user); err == nil {
+		dn = string(cred.DN())
+	}
 	s.mu.Lock()
 	s.nextTask++
 	task := &Task{
 		ID:      fmt.Sprintf("task-%06d", s.nextTask),
 		User:    user,
+		DN:      dn,
 		Src:     srcEndpoint,
 		SrcPath: srcPath,
 		Dst:     dstEndpoint,
@@ -333,6 +357,7 @@ func (s *Service) Submit(user, srcEndpoint, srcPath, dstEndpoint, dstPath string
 	s.tasks[task.ID] = task
 	snapshot := *task
 	s.mu.Unlock()
+	s.cfg.Tenants.TaskSubmitted(dn)
 	go s.run(task)
 	// Return a snapshot: the live task is mutated concurrently by run().
 	return &snapshot, nil
@@ -405,6 +430,8 @@ func (s *Service) run(task *Task) {
 			span.SetAttr("attempts", attempt)
 			span.End()
 			reg.Counter("transfer.tasks_succeeded").Inc()
+			s.cfg.Tenants.TaskDone(task.DN, true)
+			s.retireTaskSeries(task.ID)
 			s.observeTask(time.Since(task.Started), true, span.TraceID.String())
 			log.Info("task succeeded", "attempts", attempt,
 				"bytes", task.BytesTransferred,
@@ -438,11 +465,29 @@ func (s *Service) run(task *Task) {
 	span.SetError(lastErr)
 	span.End()
 	reg.Counter("transfer.tasks_failed").Inc()
+	s.cfg.Tenants.TaskDone(task.DN, false)
+	s.retireTaskSeries(task.ID)
 	s.observeTask(time.Since(task.Started), false, span.TraceID.String())
 	log.Error("task failed", "err", lastErr)
 	ev.Append(eventlog.TaskComplete, "component", "transfer-service",
 		"task", task.ID, "status", string(TaskFailed), "err", lastErr.Error(),
 		"trace", span.TraceID.String())
+}
+
+// retireTaskSeries hands the task's tsdb timelines back at terminal
+// state: everything minted under "transfer.task.<id>." — the perfAgg's
+// bytes/throughput/per-worker series and the wire-evidence series — is
+// tombstoned (after RetireGrace, when configured), stays queryable for
+// the recorder's horizon, then has its memory reclaimed. This is what
+// keeps series cardinality bounded by the active task set plus the
+// horizon instead of growing with every task ever run.
+func (s *Service) retireTaskSeries(taskID string) {
+	prefix := "transfer.task." + taskID + "."
+	if s.cfg.RetireGrace <= 0 {
+		s.cfg.Obs.RetireSeries(prefix)
+		return
+	}
+	time.AfterFunc(s.cfg.RetireGrace, func() { s.cfg.Obs.RetireSeries(prefix) })
 }
 
 // recordWireEvidence closes out one attempt against the stream-telemetry

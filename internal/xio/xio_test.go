@@ -1,8 +1,8 @@
 package xio
 
 import (
-	"crypto/tls"
 	"bytes"
+	"crypto/tls"
 	"io"
 	"net"
 	"testing"

@@ -2,7 +2,7 @@
 # bench.sh — run the root benchmark suite once and record the numbers as
 # the repo's benchmark trajectory file.
 #
-# Usage: ./scripts/bench.sh [output.json]    (default: BENCH_9.json)
+# Usage: ./scripts/bench.sh [output.json]    (default: BENCH_10.json)
 #
 # Runs `go test -bench . -benchtime=1x -benchmem` at the repo root and
 # writes a JSON object mapping each benchmark (including sub-benchmarks)
@@ -22,19 +22,26 @@
 # under keys with non-alphanumerics mapped to "_". The format is
 # documented in README.md ("Benchmark trajectory").
 #
-# Regression gate: the E2 p16 transfer is the allocation-budget canary for
+# Regression gates: the E2 p16 transfer is the allocation-budget canary for
 # the MODE E fast path. If its allocs/op exceeds the recorded baseline by
 # more than 20%, the run fails — a pooled buffer leaking back to per-block
 # allocation shows up here before it shows up as GC pressure in the field.
+# The E20 tenant-attribution overhead gate holds the per-DN accounting
+# plane to <=1% of achieved throughput on the same E2/p16 path — watching
+# who moves the bytes must not slow the bytes.
 set -eu
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_9.json}"
+out="${1:-BENCH_10.json}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT INT TERM
 
 # Baseline for the allocs/op gate (E2/gridftp-p16 after the fast-path PR).
 ALLOC_GATE_BENCH="BenchmarkE2ParallelStreams/gridftp-p16"
 ALLOC_GATE_BASELINE=30000
+
+# Ceiling for the E20 pct-overhead gate (percent of achieved throughput).
+TENANT_GATE_BENCH="BenchmarkE20TenantAttributionOverhead"
+TENANT_GATE_LIMIT=1.0
 
 go test -run '^$' -bench . -benchtime=1x -benchmem . | tee "$tmp"
 
@@ -79,5 +86,25 @@ END {
 	}
 	printf "alloc gate: %s at %d allocs/op within budget (baseline %d, limit %d)\n", \
 		bench, allocs, base, limit
+}
+' "$tmp"
+
+awk -v bench="$TENANT_GATE_BENCH" -v limit="$TENANT_GATE_LIMIT" '
+$1 ~ "^" bench {
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if ($(i + 1) == "pct-overhead") { pct = $i; seen = 1 }
+	}
+}
+END {
+	if (!seen) {
+		print "tenant gate: " bench " not found in run" > "/dev/stderr"
+		exit 1
+	}
+	if (pct + 0 > limit + 0) {
+		printf "tenant gate: %s overhead %.3f%% exceeds %.1f%% budget\n", \
+			bench, pct, limit > "/dev/stderr"
+		exit 1
+	}
+	printf "tenant gate: %s overhead %.3f%% within %.1f%% budget\n", bench, pct, limit
 }
 ' "$tmp"

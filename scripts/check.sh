@@ -26,11 +26,12 @@ go vet ./...
 echo "==> go test ./..."
 go test "$@" ./...
 
-echo "==> go test -race (obs tree, collector, streamstats, profile, fleet, admin, gridftp, xio, transfer, netsim, usagestats)"
+echo "==> go test -race (obs tree, collector, tenant, streamstats, profile, fleet, admin, gridftp, xio, transfer, netsim, usagestats)"
 go test -race "$@" \
 	./internal/obs/... \
 	./internal/obs/collector/ \
 	./internal/obs/tsdb/ \
+	./internal/obs/tenant/ \
 	./internal/obs/streamstats/ \
 	./internal/obs/profile/ \
 	./internal/obs/fleet/ \
